@@ -1,0 +1,257 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* relay selection: CAR/CS/CE criterion vs random promotion;
+* relay hold notice vs paper-faithful silence;
+* eager relay refresh vs wait-for-INVALIDATION;
+* TTR sensitivity: the relay freshness horizon trades traffic vs staleness;
+* omega: history weighting of the coefficient EWMAs.
+"""
+
+import pytest
+
+from repro.consistency.rpcc import RPCCConfig, RPCCStrategy
+from repro.experiments.runner import build_simulation, run_simulation
+from repro.extensions.selection_ablation import (
+    RandomSelectionConfig,
+    RandomSelectionRPCCStrategy,
+)
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import bench_config
+
+
+def _run_with_strategy(config, strategy_factory):
+    """Run a standard-scenario simulation with a custom RPCC strategy."""
+    simulation = build_simulation(config, "rpcc-sc")
+    # Swap the strategy wholesale before anything started.
+    context = simulation.strategy.context
+    strategy = strategy_factory(context)
+    for host in simulation.hosts.values():
+        host.agent = strategy.make_agent(host)
+        for item_id in host.store.item_ids:
+            host.agent.cache_peer.renew_ttp(item_id)
+    simulation.strategy = strategy
+    simulation.query_workload._strategy = strategy
+    return simulation.run()
+
+
+def _rpcc_config(config, **overrides):
+    kwargs = dict(
+        ttl_invalidation=config.ttl_rpcc,
+        ttn=config.ttn,
+        ttr=config.ttr,
+        ttp=config.ttp,
+        poll_timeout=config.poll_timeout,
+        broadcast_ttl=config.ttl_broadcast,
+        thresholds=config.thresholds,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def test_ablation_selection_criterion(benchmark, quick_config):
+    """Coefficient-based vs random relay promotion."""
+
+    def run():
+        stock = run_simulation(quick_config, "rpcc-sc")
+        random_sel = _run_with_strategy(
+            quick_config,
+            lambda ctx: RandomSelectionRPCCStrategy(
+                ctx,
+                RandomSelectionConfig(
+                    promote_prob=0.4, **_rpcc_config(quick_config)
+                ),
+            ),
+        )
+        return stock, random_sel
+
+    stock, random_sel = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("criterion (eq 4.2.8)", stock.summary.transmissions,
+         stock.summary.stale_ratio, stock.mean_relay_count),
+        ("random promotion", random_sel.summary.transmissions,
+         random_sel.summary.stale_ratio, random_sel.mean_relay_count),
+    ]
+    print()
+    print(format_table(("selection", "tx", "stale", "relays"), rows,
+                       title="Ablation: relay selection"))
+    # Random promotion drafts unstable nodes: relays churn yet exist.
+    assert random_sel.mean_relay_count > 0
+    assert stock.summary.queries_answered > 0
+
+
+def test_ablation_hold_notice(benchmark, quick_config):
+    """POLL_HOLD notice vs paper-faithful silence during TTR dead windows."""
+
+    def run():
+        with_hold = _run_with_strategy(
+            quick_config,
+            lambda ctx: RPCCStrategy(
+                ctx, RPCCConfig(**_rpcc_config(quick_config, relay_hold_notice=True))
+            ),
+        )
+        without = _run_with_strategy(
+            quick_config,
+            lambda ctx: RPCCStrategy(
+                ctx, RPCCConfig(**_rpcc_config(quick_config, relay_hold_notice=False))
+            ),
+        )
+        return with_hold, without
+
+    with_hold, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "tx", "fallback broadcasts"),
+        [
+            ("hold notice", with_hold.summary.transmissions,
+             with_hold.summary.counters.get("rpcc_poll_fallback_source", 0)),
+            ("silent (paper)", without.summary.transmissions,
+             without.summary.counters.get("rpcc_poll_fallback_source", 0)),
+        ],
+        title="Ablation: relay hold notice",
+    ))
+    # Silence forces more wide-broadcast escalations.
+    assert (
+        without.summary.counters.get("rpcc_poll_fallback_source", 0)
+        >= with_hold.summary.counters.get("rpcc_poll_fallback_source", 0)
+    )
+
+
+def test_ablation_eager_refresh(benchmark, quick_config):
+    """Eager GET_NEW on queued polls vs waiting for INVALIDATION."""
+
+    def run():
+        eager = _run_with_strategy(
+            quick_config,
+            lambda ctx: RPCCStrategy(
+                ctx,
+                RPCCConfig(**_rpcc_config(quick_config, eager_relay_refresh=True)),
+            ),
+        )
+        lazy = _run_with_strategy(
+            quick_config,
+            lambda ctx: RPCCStrategy(
+                ctx,
+                RPCCConfig(**_rpcc_config(quick_config, eager_relay_refresh=False)),
+            ),
+        )
+        return eager, lazy
+
+    eager, lazy = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "mean latency", "tx"),
+        [
+            ("eager GET_NEW", eager.summary.mean_latency,
+             eager.summary.transmissions),
+            ("wait (paper)", lazy.summary.mean_latency,
+             lazy.summary.transmissions),
+        ],
+        title="Ablation: eager relay refresh",
+    ))
+    assert eager.summary.queries_answered > 0
+    assert lazy.summary.queries_answered > 0
+
+
+def test_ablation_ttr_sensitivity(benchmark, quick_config):
+    """TTR horizon: longer trust windows save traffic, cost freshness."""
+
+    def run():
+        results = {}
+        for ttr in (30.0, 90.0, 115.0):
+            config = quick_config.with_overrides(ttr=ttr)
+            results[ttr] = run_simulation(config, "rpcc-sc")
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"TTR={ttr:.0f}s", r.summary.transmissions, r.summary.stale_ratio,
+         r.summary.mean_latency)
+        for ttr, r in sorted(results.items())
+    ]
+    print()
+    print(format_table(("variant", "tx", "stale", "latency"), rows,
+                       title="Ablation: TTR sensitivity"))
+    for result in results.values():
+        assert result.summary.queries_answered > 0
+
+
+def test_ablation_omega_weighting(benchmark, quick_config):
+    """The EWMA history weight's effect on relay stability."""
+
+    def run():
+        results = {}
+        for omega in (0.0, 0.2, 0.8):
+            config = quick_config.with_overrides(omega=omega)
+            results[omega] = run_simulation(config, "rpcc-sc")
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"omega={omega}", r.mean_relay_count,
+         r.summary.counters.get("rpcc_demotions", 0))
+        for omega, r in sorted(results.items())
+    ]
+    print()
+    print(format_table(("variant", "relays", "demotions"), rows,
+                       title="Ablation: omega history weighting"))
+    for result in results.values():
+        assert result.summary.queries_answered > 0
+
+
+def test_ablation_routing_policy(benchmark, quick_config):
+    """Per-send BFS vs DSR-style cached routing: does a route cache pay?"""
+
+    def run():
+        bfs = run_simulation(quick_config, "rpcc-sc")
+        cached = run_simulation(
+            quick_config.with_overrides(routing="cached"), "rpcc-sc"
+        )
+        return bfs, cached
+
+    bfs, cached = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("routing", "tx", "latency", "answered"),
+        [
+            ("per-send BFS (default)", bfs.summary.transmissions,
+             bfs.summary.mean_latency, bfs.summary.queries_answered),
+            ("DSR-style route cache", cached.summary.transmissions,
+             cached.summary.mean_latency, cached.summary.queries_answered),
+        ],
+        title="Ablation: routing policy",
+    ))
+    # Cached routes may be slightly longer (stale but valid paths), so
+    # traffic can differ a little; answered-rate must hold either way.
+    for result in (bfs, cached):
+        assert result.summary.queries_answered > 0
+    ratio = cached.summary.transmissions / bfs.summary.transmissions
+    assert 0.8 < ratio < 1.3
+
+
+def test_ablation_cache_on_read(benchmark, quick_config):
+    """Read-through caching churns items out from under their relay roles."""
+
+    def run():
+        oracle = run_simulation(quick_config, "rpcc-sc")
+        churny = run_simulation(
+            quick_config.with_overrides(cache_on_read=True), "rpcc-sc"
+        )
+        return oracle, churny
+
+    oracle, churny = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("placement", "relays", "relay demotions+evictions", "tx"),
+        [
+            ("static (paper oracle)", oracle.mean_relay_count,
+             oracle.summary.counters.get("rpcc_demotions", 0),
+             oracle.summary.transmissions),
+            ("read-through caching", churny.mean_relay_count,
+             churny.summary.counters.get("rpcc_demotions", 0),
+             churny.summary.transmissions),
+        ],
+        title="Ablation: cache-on-read churn (DESIGN.md deviation 2)",
+    ))
+    for result in (oracle, churny):
+        assert result.summary.queries_answered > 0

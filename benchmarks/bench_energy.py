@@ -1,0 +1,54 @@
+"""Energy consumption per strategy (the paper's Section 1 motivation).
+
+Not a numbered figure, but an explicit claim: "the on-demand polling by
+cache nodes will consume more battery power" and cooperative caching
+gives "less communication overhead and energy consumption of mobile
+hosts".  Battery drain is charged per transmission/reception in
+:mod:`repro.energy`, so the claim is directly measurable.
+"""
+
+from repro.experiments.runner import STRATEGY_SPECS, run_simulation
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import bench_config
+
+
+def test_energy_by_strategy(benchmark):
+    """Fleet-wide energy drain for all six strategies."""
+
+    def run():
+        return {
+            spec: run_simulation(bench_config(), spec)
+            for spec in STRATEGY_SPECS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            spec,
+            round(result.energy_consumed, 1),
+            round(result.mean_battery_fraction, 3),
+            result.summary.transmissions,
+        )
+        for spec, result in results.items()
+    ]
+    print()
+    print(format_table(
+        ("strategy", "energy (J)", "mean battery left", "tx"),
+        rows,
+        title="fleet energy over the measured window",
+    ))
+    # The paper's claim: pull's per-query flooding burns the most energy;
+    # weak-consistency RPCC the least among the protocol-bearing runs.
+    assert results["pull"].energy_consumed > results["push"].energy_consumed
+    assert results["pull"].energy_consumed > results["rpcc-sc"].energy_consumed
+    assert (
+        results["rpcc-wc"].energy_consumed
+        < results["rpcc-sc"].energy_consumed
+    )
+    # Energy tracks transmissions: the cheapest-traffic run keeps the
+    # healthiest batteries.
+    cheapest = min(results.values(), key=lambda r: r.summary.transmissions)
+    assert cheapest.mean_battery_fraction == max(
+        r.mean_battery_fraction for r in results.values()
+    )

@@ -1,0 +1,184 @@
+"""Benches for the Section 6 future-work extensions.
+
+* adaptive TTN/TTP vs stock RPCC under a bursty update workload;
+* relay-population control: capped vs uncapped relay tables;
+* multi-writer replica consistency: gossip convergence time and cost.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.runner import build_simulation, run_simulation
+from repro.extensions.adaptive import AdaptiveConfig, AdaptiveRPCCStrategy
+from repro.extensions.relay_control import ControlledConfig, ControlledRPCCStrategy
+from repro.extensions.replica import GossipReplication
+from repro.metrics.report import format_table
+from repro.mobility.stationary import Stationary
+from repro.mobility.terrain import Point, Terrain
+from repro.net.network import Network
+from repro.peers.host import MobileHost
+from repro.sim.engine import Simulator
+
+from benchmarks.bench_ablations import _rpcc_config, _run_with_strategy
+from benchmarks.conftest import bench_config
+
+
+def test_ext_adaptive_pull(benchmark, quick_config):
+    """Future work 1: adaptive push/pull frequency vs fixed timers."""
+
+    def run():
+        stock = run_simulation(quick_config, "rpcc-sc")
+        adaptive = _run_with_strategy(
+            quick_config,
+            lambda ctx: AdaptiveRPCCStrategy(
+                ctx, AdaptiveConfig(**_rpcc_config(quick_config))
+            ),
+        )
+        return stock, adaptive
+
+    stock, adaptive = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "tx", "stale", "latency"),
+        [
+            ("fixed timers (paper)", stock.summary.transmissions,
+             stock.summary.stale_ratio, stock.summary.mean_latency),
+            ("adaptive TTN/TTP", adaptive.summary.transmissions,
+             adaptive.summary.stale_ratio, adaptive.summary.mean_latency),
+        ],
+        title="Extension: adaptive push/pull frequency",
+    ))
+    assert adaptive.summary.queries_answered > 0
+
+
+def test_ext_relay_control(benchmark, quick_config):
+    """Future work 2: bounding the relay population."""
+
+    def run():
+        results = {}
+        for cap in (1, 3, 100):
+            results[cap] = _run_with_strategy(
+                quick_config,
+                lambda ctx, cap=cap: ControlledRPCCStrategy(
+                    ctx,
+                    ControlledConfig(max_relays=cap, **_rpcc_config(quick_config)),
+                ),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"cap={cap}", r.mean_relay_count, r.summary.transmissions,
+         r.summary.mean_latency)
+        for cap, r in sorted(results.items())
+    ]
+    print()
+    print(format_table(("variant", "relays", "tx", "latency"), rows,
+                       title="Extension: relay population control"))
+    # The cap binds: an uncapped table carries at least as many relays.
+    assert results[1].mean_relay_count <= results[100].mean_relay_count
+
+
+def test_ext_replica_convergence(benchmark):
+    """Future work 3: multi-writer replicas converging via gossip."""
+
+    def run():
+        sim = Simulator()
+        # Deterministic grid placement: convergence needs a connected
+        # holder set, so leave nothing to the dart board.
+        network = Network(sim, radio_range=320.0)
+        terrain = Terrain(600.0, 600.0)
+        for node_id, point in enumerate(terrain.grid_points(2, 5)):
+            host = MobileHost(node_id, sim, Stationary(point))
+            network.register(host)
+        replication = GossipReplication(
+            sim, network, item_id=0, holders=list(range(10)),
+            rng=random.Random(9), gossip_interval=15.0,
+        )
+        replication.start()
+        # Ten conflicting writers at t=0.
+        for node_id in range(10):
+            replication.write(node_id, 100 + node_id)
+        converged_at = None
+        while sim.now < 3600.0:
+            sim.run_until(sim.now + 15.0)
+            if replication.converged():
+                converged_at = sim.now
+                break
+        return replication, converged_at
+
+    replication, converged_at = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"converged after {converged_at:.0f}s simulated, "
+          f"{replication.rounds} gossip rounds")
+    assert converged_at is not None
+    assert replication.distinct_values() == 1
+
+
+def test_ext_uir_push(benchmark, quick_config):
+    """Cited mechanism (Cao'00): UIRs between IRs trade traffic for latency."""
+    from repro.extensions.uir_push import UIRPushStrategy
+
+    def run():
+        stock = run_simulation(quick_config, "push")
+        uir = _run_with_strategy_push(quick_config, uir_count=4)
+        return stock, uir
+
+    def _run_with_strategy_push(config, uir_count):
+        simulation = build_simulation(config, "push")
+        context = simulation.strategy.context
+        strategy = UIRPushStrategy(
+            context, uir_count=uir_count,
+            ttn=config.ttn, ttl=config.ttl_broadcast,
+        )
+        for host in simulation.hosts.values():
+            host.agent = strategy.make_agent(host)
+        simulation.strategy = strategy
+        simulation.query_workload._strategy = strategy
+        return simulation.run()
+
+    stock, uir = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "tx", "mean latency"),
+        [
+            ("simple push (IR only)", stock.summary.transmissions,
+             stock.summary.mean_latency),
+            ("push + 4 UIRs", uir.summary.transmissions,
+             uir.summary.mean_latency),
+        ],
+        title="Extension: updated invalidation reports",
+    ))
+    # UIRs divide waiting latency and multiply report traffic.
+    assert uir.summary.mean_latency < stock.summary.mean_latency
+    assert uir.summary.transmissions > stock.summary.transmissions
+
+
+def test_ablation_mobility_model(benchmark, quick_config):
+    """Waypoint vs random-walk mobility: do the shapes survive?"""
+
+    def run():
+        waypoint = run_simulation(quick_config, "rpcc-sc")
+        walk = run_simulation(
+            quick_config.with_overrides(mobility="walk"), "rpcc-sc"
+        )
+        return waypoint, walk
+
+    waypoint, walk = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("mobility", "tx", "latency", "relays", "answered"),
+        [
+            ("random waypoint", waypoint.summary.transmissions,
+             waypoint.summary.mean_latency, waypoint.mean_relay_count,
+             waypoint.summary.queries_answered),
+            ("random walk", walk.summary.transmissions,
+             walk.summary.mean_latency, walk.mean_relay_count,
+             walk.summary.queries_answered),
+        ],
+        title="Ablation: mobility model",
+    ))
+    for result in (waypoint, walk):
+        assert result.summary.queries_answered > 0
+        assert result.mean_relay_count > 0

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the simulation substrates.
+
+Not a paper figure — these keep the kernel honest: event throughput,
+topology snapshot construction, BFS, and random-waypoint sampling are the
+inner loops every experiment spends its time in.
+"""
+
+import random
+
+from repro.mobility.terrain import Point, Terrain
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.topology import TopologySnapshot
+from repro.sim.engine import Simulator
+
+
+def test_event_throughput(benchmark):
+    """Schedule-and-run throughput of the event kernel (10k events)."""
+
+    def run():
+        sim = Simulator()
+        for index in range(10_000):
+            sim.schedule(float(index % 97) * 0.1, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run)
+    assert processed == 10_000
+
+
+def test_timer_chain(benchmark):
+    """A self-rescheduling timer chain (the protocol timer pattern)."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 5_000
+
+
+def _positions(count, seed=3):
+    rng = random.Random(seed)
+    terrain = Terrain(1500.0, 1500.0)
+    return {i: terrain.random_point(rng) for i in range(count)}
+
+
+def test_snapshot_build_50_nodes(benchmark):
+    """Adjacency construction for a Table-1 sized network."""
+    positions = _positions(50)
+    snapshot = benchmark(lambda: TopologySnapshot(positions, 350.0))
+    assert snapshot.edge_count() > 0
+
+
+def test_bfs_levels_50_nodes(benchmark):
+    """TTL-flood reach computation (the flood hot path)."""
+    snapshot = TopologySnapshot(_positions(50), 350.0)
+
+    levels = benchmark(lambda: snapshot.bfs_levels(0, max_depth=8))
+    assert 0 in levels
+
+
+def test_waypoint_sampling(benchmark):
+    """Position queries across 5 simulated hours."""
+    terrain = Terrain(1500.0, 1500.0)
+    model = RandomWaypoint(terrain, random.Random(1), 1.0, 5.0, 60.0)
+
+    def run():
+        total = 0.0
+        for t in range(0, 18_000, 10):
+            point = model.position(float(t))
+            total += point.x
+        return total
+
+    benchmark(run)

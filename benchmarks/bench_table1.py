@@ -1,0 +1,27 @@
+"""Table 1 — simulation parameters.
+
+Regenerates the parameter table and benchmarks how fast a full Table-1
+world can be wired up (50 peers, placement, strategies, workloads).
+"""
+
+from repro.experiments.config import TABLE1_ROWS, SimulationConfig
+from repro.experiments.runner import build_simulation
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import bench_config
+
+
+def test_table1_parameters(benchmark):
+    """Print Table 1 and time the construction of a full simulation."""
+    config = SimulationConfig()
+
+    def build():
+        return build_simulation(bench_config(), "rpcc-sc")
+
+    simulation = benchmark(build)
+    rows = config.table1_rows()
+    print()
+    print(format_table(("Parameter", "Description", "Value"), rows,
+                       title="Table 1. Simulation Parameters"))
+    assert [row[0] for row in rows] == TABLE1_ROWS
+    assert len(simulation.hosts) == config.n_peers

@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Benchmarks regenerate every table and figure of the paper's evaluation at
+a reduced (but still 50-peer) scale: a 10-minute warm-up followed by a
+15-minute measured window instead of the paper's 5 hours.  The *shapes*
+(who wins, by roughly what factor) are asserted; absolute numbers are
+printed for comparison against EXPERIMENTS.md.
+
+Fig 7 and Fig 8 read different metrics of the same sweeps, so sweep
+results are cached per session and computed at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures.base import run_axis_sweep
+from repro.experiments.runner import STRATEGY_SPECS, SimulationResult
+
+
+def bench_config(**kwargs) -> SimulationConfig:
+    """The reduced-scale benchmark configuration (Table 1 otherwise)."""
+    defaults = dict(sim_time=900.0, warmup=600.0, seed=7)
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+_SWEEP_CACHE: Dict[Tuple, Dict] = {}
+
+
+def cached_axis_sweep(axis: str, values: tuple, specs: tuple = STRATEGY_SPECS):
+    """Run (or reuse) the sweep shared by the Fig 7 / Fig 8 panels."""
+    key = (axis, values, specs)
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = run_axis_sweep(bench_config(), axis, values, specs)
+    return _SWEEP_CACHE[key]
+
+
+@pytest.fixture
+def quick_config() -> SimulationConfig:
+    """A very small config for micro/ablation benchmarks."""
+    return bench_config(n_peers=30, sim_time=600.0, warmup=300.0)
+
+
+def print_figure(figure) -> None:
+    """Emit a reproduced figure under the benchmark output."""
+    print()
+    print(figure.format())
+
+
+def traffic(result: SimulationResult) -> int:
+    """Shorthand: hop transmissions of a run."""
+    return result.summary.transmissions
+
+
+def latency(result: SimulationResult) -> float:
+    """Shorthand: mean answered latency of a run."""
+    return result.summary.mean_latency

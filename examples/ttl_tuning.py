@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Internet-gateway scenario: tuning RPCC's invalidation TTL (Fig 9 style).
+
+The paper's third motivating example: mobile users beyond an access
+point's radio range still reach the Internet through peers.  Here one
+well-known item (the gateway's service directory) is cached by everyone,
+and the operator must pick the invalidation TTL: flood far (every holder
+can relay: push-like traffic, snappy answers) or flood near (few relays:
+pull-like polling storms).
+
+This is the Fig 9 experiment on a small budget — it sweeps the TTL and
+prints the trade-off table an operator would use.
+
+Usage::
+
+    python examples/ttl_tuning.py
+"""
+
+from repro.experiments import SimulationConfig, run_simulation
+from repro.metrics.report import format_table
+
+
+def gateway_config(seed: int = 3) -> SimulationConfig:
+    return SimulationConfig(
+        n_peers=40,
+        sim_time=900.0,
+        warmup=600.0,
+        update_interval=90.0,   # the directory churns
+        query_interval=20.0,
+        seed=seed,
+    )
+
+
+def main() -> None:
+    config = gateway_config()
+    print("Gateway directory cached by all 40 peers: choosing the TTL")
+    print()
+    rows = []
+    for ttl in (1, 2, 3, 5, 7):
+        result = run_simulation(
+            config.with_overrides(ttl_rpcc=ttl), "rpcc-sc", "single_source"
+        )
+        summary = result.summary
+        rows.append(
+            (
+                ttl,
+                summary.transmissions,
+                round(summary.mean_latency, 2),
+                round(result.mean_relay_count, 1),
+                round(summary.violation_ratio, 3),
+            )
+        )
+    for spec in ("push", "pull"):
+        result = run_simulation(config, spec, "single_source")
+        rows.append(
+            (
+                spec,
+                result.summary.transmissions,
+                round(result.summary.mean_latency, 2),
+                "-",
+                round(result.summary.violation_ratio, 3),
+            )
+        )
+    print(
+        format_table(
+            ("TTL", "transmissions", "latency (s)", "relays", "stale"),
+            rows,
+            title="Fig 9 trade-off at example scale",
+        )
+    )
+    print()
+    print("Reading: TTL=1 starves the relay overlay and polls escalate to")
+    print("pull-style broadcasts; by TTL=3 the overlay carries the load;")
+    print("beyond that extra invalidation flooding buys little.")
+
+
+if __name__ == "__main__":
+    main()

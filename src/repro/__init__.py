@@ -1,0 +1,64 @@
+"""repro — a full reproduction of RPCC (Cao, Zhang, Xie & Cao, ICDCS 2005).
+
+*Consistency of Cooperative Caching in Mobile Peer-to-Peer Systems over
+MANET* proposes **RPCC** (Relay Peer-based Cache Consistency): stable,
+capable peers are promoted to *relay peers* that sit between each data
+item's source host and its cache nodes; the source pushes invalidations
+and updates to the relays while cache nodes pull from nearby relays,
+serving strong/Δ/weak consistency adaptively.
+
+This package contains everything needed to reproduce the paper end to end
+on a laptop:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel (GloMoSim stand-in);
+* :mod:`repro.mobility` — terrain + random-waypoint movement;
+* :mod:`repro.net` — disc-model MANET with multi-hop routing and flooding;
+* :mod:`repro.energy`, :mod:`repro.cache`, :mod:`repro.peers` — the
+  per-host substrates;
+* :mod:`repro.consistency` — the RPCC protocol plus the simple push/pull
+  baselines it is evaluated against;
+* :mod:`repro.workload`, :mod:`repro.metrics` — load generation and
+  measurement;
+* :mod:`repro.experiments` — Table 1 configuration and one module per
+  figure of the evaluation section;
+* :mod:`repro.extensions` — the paper's Section 6 future-work directions.
+
+Quickstart::
+
+    from repro.experiments import SimulationConfig, run_simulation
+
+    config = SimulationConfig(sim_time=1800.0, seed=7)
+    result = run_simulation(config, "rpcc-sc")
+    print(result.summary.mean_latency, result.summary.transmissions)
+"""
+
+from repro.consistency import (
+    ConsistencyLevel,
+    PullStrategy,
+    PushStrategy,
+    RPCCConfig,
+    RPCCStrategy,
+)
+from repro.experiments import (
+    STRATEGY_SPECS,
+    SimulationConfig,
+    SimulationResult,
+    build_simulation,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ConsistencyLevel",
+    "PushStrategy",
+    "PullStrategy",
+    "RPCCStrategy",
+    "RPCCConfig",
+    "SimulationConfig",
+    "SimulationResult",
+    "STRATEGY_SPECS",
+    "build_simulation",
+    "run_simulation",
+]

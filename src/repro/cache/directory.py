@@ -1,0 +1,58 @@
+"""Cache directory: who currently caches which data item.
+
+The paper assumes "the system has an independent mechanism for replica
+placement and for locating the nearest cache node" (end of Section 3).
+This directory *is* that mechanism: an oracle kept current by the cache
+stores' insert/evict callbacks.  Keeping it an oracle (rather than a
+discovery protocol) is faithful to the paper and keeps the traffic figures
+about *consistency* messages only — exactly what Fig 7 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+__all__ = ["CacheDirectory"]
+
+
+class CacheDirectory:
+    """Mapping from item id to the set of nodes holding a cached copy."""
+
+    def __init__(self) -> None:
+        self._holders: Dict[int, Set[int]] = {}
+
+    def add(self, item_id: int, node_id: int) -> None:
+        """Record that ``node_id`` now caches ``item_id``."""
+        self._holders.setdefault(item_id, set()).add(node_id)
+
+    def remove(self, item_id: int, node_id: int) -> None:
+        """Record that ``node_id`` no longer caches ``item_id``."""
+        holders = self._holders.get(item_id)
+        if holders is None:
+            return
+        holders.discard(node_id)
+        if not holders:
+            del self._holders[item_id]
+
+    def holders(self, item_id: int) -> Set[int]:
+        """Nodes currently caching ``item_id`` (possibly empty)."""
+        return set(self._holders.get(item_id, ()))
+
+    def holder_count(self, item_id: int) -> int:
+        """Number of nodes caching ``item_id``."""
+        return len(self._holders.get(item_id, ()))
+
+    def items_cached_anywhere(self) -> List[int]:
+        """Item ids with at least one cached copy."""
+        return list(self._holders)
+
+    def bind_store(self, node_id: int) -> tuple:
+        """Build ``(on_insert, on_evict)`` callbacks for one node's store."""
+
+        def on_insert(item_id: int) -> None:
+            self.add(item_id, node_id)
+
+        def on_evict(item_id: int) -> None:
+            self.remove(item_id, node_id)
+
+        return on_insert, on_evict

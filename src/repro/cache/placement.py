@@ -1,0 +1,69 @@
+"""Initial replica placement.
+
+The paper's evaluation assumes each host caches ``C_Num`` data items from
+the start (Fig 7(c) sweeps that number), plus the Fig 9 scenario where one
+item is cached by *every* other peer.  Placement only decides the initial
+cache contents; the consistency protocols keep them fresh afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.cache.catalog import Catalog
+from repro.cache.item import CachedCopy
+from repro.cache.store import CacheStore
+from repro.errors import ConfigurationError
+
+__all__ = ["random_placement", "single_item_placement"]
+
+
+def random_placement(
+    catalog: Catalog,
+    stores: Dict[int, CacheStore],
+    cache_num: int,
+    rng: random.Random,
+    now: float = 0.0,
+) -> Dict[int, List[int]]:
+    """Give every host ``cache_num`` random foreign items.
+
+    Each host caches ``cache_num`` distinct items drawn uniformly from the
+    catalog, excluding the item it sources itself (a host never needs to
+    cache its own master copy).  Returns the chosen item ids per host.
+    """
+    if cache_num <= 0:
+        raise ConfigurationError(f"cache_num must be positive, got {cache_num!r}")
+    assignment: Dict[int, List[int]] = {}
+    item_ids = sorted(catalog.item_ids)
+    for host_id in sorted(stores):
+        foreign = [item for item in item_ids if catalog.source_of(item) != host_id]
+        count = min(cache_num, len(foreign))
+        chosen = rng.sample(foreign, count)
+        store = stores[host_id]
+        for item_id in chosen:
+            master = catalog.master(item_id)
+            store.put(CachedCopy(item_id, master.version, master.content_size, now))
+        assignment[host_id] = chosen
+    return assignment
+
+
+def single_item_placement(
+    catalog: Catalog,
+    stores: Dict[int, CacheStore],
+    item_id: int,
+    now: float = 0.0,
+) -> List[int]:
+    """Fig 9 scenario: one item "cached by all other peers".
+
+    Every host except the item's source receives a copy.  Returns the list
+    of cache-holder host ids.
+    """
+    master = catalog.master(item_id)
+    holders: List[int] = []
+    for host_id, store in sorted(stores.items()):
+        if host_id == master.source_id:
+            continue
+        store.put(CachedCopy(item_id, master.version, master.content_size, now))
+        holders.append(host_id)
+    return holders

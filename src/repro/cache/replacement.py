@@ -1,0 +1,73 @@
+"""Cache replacement policies.
+
+The paper assumes "an independent mechanism for replica placement"; the
+store still needs a victim-selection rule when a fetch lands in a full
+cache.  LRU is the default; LFU and FIFO exist for the placement ablation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.cache.item import CachedCopy
+from repro.errors import CacheError
+
+__all__ = ["ReplacementPolicy", "LRUPolicy", "LFUPolicy", "FIFOPolicy", "make_policy"]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses which cached copy to evict from a full cache."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def victim(self, copies: Dict[int, CachedCopy]) -> int:
+        """Return the item id to evict.  ``copies`` is non-empty."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least-recently accessed copy."""
+
+    name = "lru"
+
+    def victim(self, copies: Dict[int, CachedCopy]) -> int:
+        return min(copies.values(), key=lambda c: (c.last_access, c.item_id)).item_id
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least-frequently accessed copy (ties: oldest access)."""
+
+    name = "lfu"
+
+    def victim(self, copies: Dict[int, CachedCopy]) -> int:
+        return min(
+            copies.values(),
+            key=lambda c: (c.access_count, c.last_access, c.item_id),
+        ).item_id
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the copy fetched earliest."""
+
+    name = "fifo"
+
+    def victim(self, copies: Dict[int, CachedCopy]) -> int:
+        return min(copies.values(), key=lambda c: (c.fetched_at, c.item_id)).item_id
+
+
+_POLICIES = {
+    LRUPolicy.name: LRUPolicy,
+    LFUPolicy.name: LFUPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``lfu``/``fifo``)."""
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        raise CacheError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

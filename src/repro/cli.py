@@ -1,0 +1,219 @@
+"""Command-line interface for the reproduction.
+
+Usage::
+
+    python -m repro --sim-time 900 --seed 3 run rpcc-sc
+    python -m repro table1
+    python -m repro --sim-time 600 fig7a --plot --csv fig7a.csv
+    python -m repro --sim-time 600 fig9 --ttls 1 3 7
+    python -m repro --sim-time 600 compare
+
+Every command accepts ``--sim-time``/``--warmup``/``--seed`` so the
+paper-scale five-hour runs and quick smoke runs use the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import (
+    CACHE_NUMBERS,
+    QUERY_INTERVALS,
+    TTL_VALUES,
+    UPDATE_INTERVALS,
+    fig7a,
+    fig7b,
+    fig7c,
+    fig8a,
+    fig8b,
+    fig8c,
+    fig9a,
+    fig9b,
+    run_fig9,
+)
+from repro.experiments.figures.base import run_axis_sweep
+from repro.experiments.runner import STRATEGY_SPECS, run_simulation
+from repro.metrics.report import format_summary, format_table
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig7a": ("update_interval", UPDATE_INTERVALS, fig7a, False),
+    "fig7b": ("query_interval", QUERY_INTERVALS, fig7b, False),
+    "fig7c": ("cache_num", tuple(CACHE_NUMBERS), fig7c, False),
+    "fig8a": ("update_interval", UPDATE_INTERVALS, fig8a, True),
+    "fig8b": ("query_interval", QUERY_INTERVALS, fig8b, True),
+    "fig8c": ("cache_num", tuple(CACHE_NUMBERS), fig8c, True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of RPCC (ICDCS 2005): run simulations "
+        "and regenerate the paper's figures.",
+    )
+    parser.add_argument("--sim-time", type=float, default=1800.0,
+                        help="measured window in simulated seconds")
+    parser.add_argument("--warmup", type=float, default=600.0,
+                        help="warm-up seconds excluded from metrics")
+    parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument("spec", choices=STRATEGY_SPECS)
+    run_parser.add_argument("--scenario", default="standard",
+                            choices=("standard", "single_source"))
+
+    sub.add_parser("table1", help="print Table 1")
+    sub.add_parser("compare", help="all six strategies at Table-1 defaults")
+
+    for name in _FIGURES:
+        figure_parser = sub.add_parser(name, help=f"reproduce {name}")
+        figure_parser.add_argument("--plot", action="store_true",
+                                   help="ASCII chart alongside the table")
+        figure_parser.add_argument("--csv", metavar="PATH",
+                                   help="also write the series to a CSV file")
+
+    fig9_parser = sub.add_parser("fig9", help="reproduce Fig 9 (both panels)")
+    fig9_parser.add_argument("--plot", action="store_true")
+    fig9_parser.add_argument("--csv", metavar="PREFIX",
+                             help="write <PREFIX>a.csv and <PREFIX>b.csv")
+    fig9_parser.add_argument("--ttls", type=int, nargs="+",
+                             default=list(TTL_VALUES))
+
+    all_parser = sub.add_parser(
+        "all", help="regenerate every figure and write CSVs to a directory"
+    )
+    all_parser.add_argument("--out", default="results",
+                            help="output directory for the CSV files")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        sim_time=args.sim_time, warmup=args.warmup, seed=args.seed
+    )
+
+
+def _command_run(args: argparse.Namespace) -> None:
+    result = run_simulation(_config(args), args.spec, args.scenario)
+    print(format_summary(result.summary, title=f"{args.spec} ({args.scenario})"))
+    if result.relay_samples:
+        print(f"\nmean relay population: {result.mean_relay_count:.1f}")
+    print(f"events processed: {result.events_processed:,} "
+          f"in {result.wall_clock_seconds:.1f}s wall clock")
+
+
+def _command_table1(args: argparse.Namespace) -> None:
+    rows = _config(args).table1_rows()
+    print(format_table(("Parameter", "Description", "Value"), rows,
+                       title="Table 1. Simulation Parameters"))
+
+
+def _command_compare(args: argparse.Namespace) -> None:
+    rows = []
+    for spec in STRATEGY_SPECS:
+        result = run_simulation(_config(args), spec)
+        summary = result.summary
+        rows.append((
+            spec,
+            summary.transmissions,
+            round(summary.mean_latency, 2),
+            f"{summary.queries_answered}/{summary.queries_issued}",
+            round(summary.stale_ratio, 3),
+            round(summary.violation_ratio, 3),
+        ))
+    print(format_table(
+        ("strategy", "tx", "latency(s)", "answered", "stale", "violations"),
+        rows, title="strategy comparison",
+    ))
+
+
+def _command_figure(args: argparse.Namespace) -> None:
+    axis, values, builder, log_y = _FIGURES[args.command]
+    config = _config(args)
+    results = run_axis_sweep(config, axis, values, STRATEGY_SPECS)
+    figure = builder(config, STRATEGY_SPECS, values, results)
+    print(figure.format())
+    if args.plot:
+        print()
+        print(figure.plot(log_y=log_y))
+    if args.csv:
+        figure.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+
+
+def _command_fig9(args: argparse.Namespace) -> None:
+    payload = run_fig9(_config(args), tuple(args.ttls))
+    for builder, log_y, suffix in ((fig9a, False, "a"), (fig9b, True, "b")):
+        figure = builder(_config(args), tuple(args.ttls), payload)
+        print(figure.format())
+        if args.plot:
+            print()
+            print(figure.plot(log_y=log_y))
+        if args.csv:
+            target = f"{args.csv}{suffix}.csv"
+            figure.save_csv(target)
+            print(f"wrote {target}")
+        print()
+
+
+def _command_all(args: argparse.Namespace) -> None:
+    import os
+
+    os.makedirs(args.out, exist_ok=True)
+    config = _config(args)
+    # Fig 7 and Fig 8 read different columns of the same sweeps: run each
+    # sweep once and extract twice.
+    sweeps = {
+        "update_interval": UPDATE_INTERVALS,
+        "query_interval": QUERY_INTERVALS,
+        "cache_num": tuple(CACHE_NUMBERS),
+    }
+    cached = {
+        axis: run_axis_sweep(config, axis, values, STRATEGY_SPECS)
+        for axis, values in sweeps.items()
+    }
+    for name, (axis, values, builder, _) in _FIGURES.items():
+        figure = builder(config, STRATEGY_SPECS, values, cached[axis])
+        print(figure.format())
+        print()
+        target = os.path.join(args.out, f"{name}.csv")
+        figure.save_csv(target)
+        print(f"wrote {target}")
+        print()
+    payload = run_fig9(config, TTL_VALUES)
+    for builder, suffix in ((fig9a, "fig9a"), (fig9b, "fig9b")):
+        figure = builder(config, TTL_VALUES, payload)
+        print(figure.format())
+        target = os.path.join(args.out, f"{suffix}.csv")
+        figure.save_csv(target)
+        print(f"wrote {target}")
+        print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        _command_run(args)
+    elif args.command == "table1":
+        _command_table1(args)
+    elif args.command == "compare":
+        _command_compare(args)
+    elif args.command == "fig9":
+        _command_fig9(args)
+    elif args.command == "all":
+        _command_all(args)
+    else:
+        _command_figure(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Consistency protocols: levels, message set, push/pull baselines, RPCC."""
+
+from repro.consistency.base import (
+    BaseAgent,
+    ConsistencyStrategy,
+    PendingQuery,
+    StrategyContext,
+)
+from repro.consistency.levels import ConsistencyLevel, parse_level
+from repro.consistency.pull import PullAgent, PullStrategy
+from repro.consistency.push import PushAgent, PushStrategy
+from repro.consistency.rpcc import RPCCAgent, RPCCConfig, RPCCStrategy
+
+__all__ = [
+    "ConsistencyLevel",
+    "parse_level",
+    "StrategyContext",
+    "ConsistencyStrategy",
+    "BaseAgent",
+    "PendingQuery",
+    "PushStrategy",
+    "PushAgent",
+    "PullStrategy",
+    "PullAgent",
+    "RPCCStrategy",
+    "RPCCAgent",
+    "RPCCConfig",
+]

@@ -1,0 +1,432 @@
+"""Strategy/agent framework shared by push, pull and RPCC.
+
+A *strategy* owns run-global state and builds one *agent* per mobile host;
+the agent handles that host's queries and protocol messages.
+
+Query model (Section 3 of the paper): the system "has an independent
+mechanism ... for locating the nearest cache node to access the data
+copy", so a query never dead-ends.  Concretely:
+
+* if the querying host holds the item (or sources it), its own agent runs
+  the consistency check — a *local* query;
+* otherwise the query is forwarded as a ``QueryRequest`` to the nearest
+  holder, whose agent runs the consistency check on *its* copy and sends
+  back a ``QueryReply`` with the validated content — a *remote* query.
+  The client installs the returned copy (cooperative caching) and closes
+  the latency record.
+
+The consistency check itself is the strategy hook
+:meth:`BaseAgent.validate_hit`; it receives a :class:`QueryJob` that knows
+how to deliver the answer (close the local record, or reply over the
+network), so strategies are agnostic to where the query came from.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Set
+
+from repro.cache.catalog import Catalog
+from repro.cache.discovery import Discovery
+from repro.cache.item import CachedCopy, MasterCopy
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.messages import (
+    QueryReply,
+    QueryRequest,
+    next_request_id,
+)
+from repro.errors import ProtocolError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.latency import QueryRecord
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.peers.host import MobileHost
+from repro.sim.engine import EventHandle
+
+__all__ = [
+    "StrategyContext",
+    "ConsistencyStrategy",
+    "BaseAgent",
+    "QueryJob",
+    "LocalJob",
+    "RemoteJob",
+    "PendingQuery",
+]
+
+
+class StrategyContext:
+    """Shared plumbing handed to a strategy: network, catalog, metrics.
+
+    Parameters
+    ----------
+    network:
+        The simulated network (provides the clock via ``network.sim``).
+    catalog:
+        Global registry of master copies.
+    discovery:
+        Nearest-copy oracle.
+    metrics:
+        Run metrics sink.
+    delta:
+        The Δ bound (seconds) used when auditing delta-consistency reads.
+    fetch_timeout:
+        Default seconds to wait for a remote answer before retrying
+        elsewhere (strategies whose holders wait longer override
+        :meth:`ConsistencyStrategy.remote_query_timeout`).
+    max_fetch_attempts:
+        Distinct holders tried before a remote query is abandoned.
+    cache_on_read:
+        When ``True`` a client installs the copy returned by a remote
+        query into its own cache.  Default ``False``: the paper assumes an
+        *independent* replica-placement mechanism, and read-driven churn
+        would constantly evict items out from under their relay roles.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        catalog: Catalog,
+        discovery: Discovery,
+        metrics: MetricsCollector,
+        delta: float = 240.0,
+        fetch_timeout: float = 5.0,
+        max_fetch_attempts: int = 3,
+        cache_on_read: bool = False,
+    ) -> None:
+        self.network = network
+        self.catalog = catalog
+        self.discovery = discovery
+        self.metrics = metrics
+        self.delta = float(delta)
+        self.fetch_timeout = float(fetch_timeout)
+        self.max_fetch_attempts = int(max_fetch_attempts)
+        self.cache_on_read = bool(cache_on_read)
+
+    @property
+    def sim(self):
+        """The event kernel behind the network."""
+        return self.network.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.network.sim.now
+
+
+# ----------------------------------------------------------------------
+# Query jobs: how an answer gets delivered
+# ----------------------------------------------------------------------
+class QueryJob(abc.ABC):
+    """A query under consistency validation at some agent."""
+
+    item_id: int
+    level: ConsistencyLevel
+
+    @abc.abstractmethod
+    def deliver(self, agent: "BaseAgent", version: int, served_locally: bool) -> None:
+        """Hand the validated answer back to whoever asked."""
+
+
+class LocalJob(QueryJob):
+    """A query issued at this very host: closing it updates the metrics."""
+
+    __slots__ = ("record", "item_id", "level")
+
+    def __init__(self, record: QueryRecord, level: ConsistencyLevel) -> None:
+        self.record = record
+        self.item_id = record.item_id
+        self.level = level
+
+    def deliver(self, agent: "BaseAgent", version: int, served_locally: bool) -> None:
+        metrics = agent.context.metrics
+        metrics.latency.close(self.record.query_id, agent.now, version, served_locally)
+        metrics.staleness.record_read(
+            self.item_id, version, agent.now, self.level.label, agent.context.delta
+        )
+
+
+class RemoteJob(QueryJob):
+    """A query forwarded from another host: answering sends a reply."""
+
+    __slots__ = ("requester", "request_id", "item_id", "level")
+
+    def __init__(
+        self, requester: int, request_id: int, item_id: int, level: ConsistencyLevel
+    ) -> None:
+        self.requester = requester
+        self.request_id = request_id
+        self.item_id = item_id
+        self.level = level
+
+    def deliver(self, agent: "BaseAgent", version: int, served_locally: bool) -> None:
+        master = agent.context.catalog.master(self.item_id)
+        reply = QueryReply(
+            sender=agent.node_id,
+            item_id=self.item_id,
+            version=version,
+            request_id=self.request_id,
+            content_size=master.content_size,
+        )
+        agent.send(self.requester, reply)
+
+
+class PendingQuery:
+    """A query whose answer is in flight (poll, remote request, or wait)."""
+
+    __slots__ = ("job", "timeout_handle", "tried_holders", "attempts", "stage")
+
+    def __init__(self, job: QueryJob) -> None:
+        self.job = job
+        self.timeout_handle: Optional[EventHandle] = None
+        self.tried_holders: Set[int] = set()
+        self.attempts = 0
+        self.stage: Optional[str] = None
+
+    @property
+    def item_id(self) -> int:
+        """Item the pending query targets."""
+        return self.job.item_id
+
+    @property
+    def level(self) -> ConsistencyLevel:
+        """Requested consistency level."""
+        return self.job.level
+
+    def cancel_timeout(self) -> None:
+        """Disarm any pending timeout event."""
+        if self.timeout_handle is not None:
+            self.timeout_handle.cancel()
+            self.timeout_handle = None
+
+
+class ConsistencyStrategy(abc.ABC):
+    """Run-global strategy object: builds agents, starts global timers."""
+
+    name: str = "abstract"
+
+    def __init__(self, context: StrategyContext) -> None:
+        self.context = context
+        self.agents: Dict[int, "BaseAgent"] = {}
+
+    @abc.abstractmethod
+    def make_agent(self, host: MobileHost) -> "BaseAgent":
+        """Create and register the per-host agent."""
+
+    def start(self) -> None:
+        """Start run-global timers; called once before the run."""
+
+    def remote_query_timeout(self) -> float:
+        """How long a client waits for a holder's reply before retrying.
+
+        Must exceed the worst-case holder-side validation wait; strategies
+        whose holders block (push waits for the next invalidation report)
+        override this.
+        """
+        return self.context.fetch_timeout
+
+    def agent_for(self, node_id: int) -> "BaseAgent":
+        """Look up the agent attached to host ``node_id``."""
+        try:
+            return self.agents[node_id]
+        except KeyError:
+            raise ProtocolError(f"no agent registered for node {node_id!r}") from None
+
+
+class BaseAgent(abc.ABC):
+    """Per-host protocol endpoint with the shared query machinery."""
+
+    def __init__(self, strategy: ConsistencyStrategy, host: MobileHost) -> None:
+        self.strategy = strategy
+        self.context = strategy.context
+        self.host = host
+        self._pending_remote: Dict[int, PendingQuery] = {}
+        strategy.agents[host.node_id] = self
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        """This agent's host id."""
+        return self.host.node_id
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.context.now
+
+    def send(self, target: int, message: Message) -> bool:
+        """Unicast ``message`` to ``target``; returns route availability."""
+        return self.context.network.unicast(self.node_id, target, message)
+
+    def flood(self, message: Message, ttl: int) -> int:
+        """TTL-limited flood of ``message``; returns nodes reached."""
+        return self.context.network.flood(self.node_id, message, ttl)
+
+    # ------------------------------------------------------------------
+    # Query entry point
+    # ------------------------------------------------------------------
+    def local_query(self, item_id: int, level: ConsistencyLevel) -> QueryRecord:
+        """Serve a query issued at this host for ``item_id``."""
+        metrics = self.context.metrics
+        record = metrics.latency.open(self.node_id, item_id, level.label, self.now)
+        # Every local query accesses this node's cache (hit or miss), so it
+        # counts towards N_a of eq 4.2.1.
+        self.host.tracker.record_access()
+        job = LocalJob(record, level)
+        if not self.host.online:
+            self._answer_offline(job)
+            return record
+        master = self.context.catalog.master(item_id)
+        if master.source_id == self.node_id:
+            # Source hosts always hold the newest version (Section 3).
+            self.answer(job, master.version, served_locally=True)
+            return record
+        copy = self.host.store.get(item_id, self.now)
+        if copy is not None:
+            record.cache_hit = True
+            self.validate_hit(copy, level, job)
+        else:
+            # Discovery sends the query to the nearest holder.
+            self._start_remote_query(PendingQuery(job))
+        return record
+
+    def _answer_offline(self, job: LocalJob) -> None:
+        master = self.context.catalog.master(job.item_id)
+        if master.source_id == self.node_id:
+            self.answer(job, master.version, served_locally=True)
+            return
+        copy = self.host.store.peek(job.item_id)
+        if copy is None:
+            self.context.metrics.bump("query_offline_unanswerable")
+            return
+        self.context.metrics.bump("query_answered_offline")
+        job.record.cache_hit = True
+        self.answer(job, copy.version, served_locally=True)
+
+    @abc.abstractmethod
+    def validate_hit(
+        self, copy: CachedCopy, level: ConsistencyLevel, job: QueryJob
+    ) -> None:
+        """Strategy-specific consistency check for a held copy."""
+
+    def answer(self, job: QueryJob, version: int, served_locally: bool = False) -> None:
+        """Deliver the validated answer through the job."""
+        job.deliver(self, version, served_locally)
+
+    # ------------------------------------------------------------------
+    # Remote queries (client side)
+    # ------------------------------------------------------------------
+    def _start_remote_query(self, pending: PendingQuery) -> None:
+        pending.attempts += 1
+        if pending.attempts > self.context.max_fetch_attempts:
+            self.context.metrics.bump("query_abandoned")
+            return
+        snapshot = self.context.network.snapshot()
+        target = self.context.discovery.nearest_holder(
+            snapshot, self.node_id, pending.item_id, exclude=pending.tried_holders
+        )
+        if target is None or target == self.node_id:
+            self.context.metrics.bump("query_no_holder")
+            return
+        pending.tried_holders.add(target)
+        request_id = next_request_id()
+        self._pending_remote[request_id] = pending
+        request = QueryRequest(
+            sender=self.node_id,
+            item_id=pending.item_id,
+            request_id=request_id,
+            level_label=pending.level.label,
+        )
+        sent = self.send(target, request)
+        timeout = self.strategy.remote_query_timeout()
+        if not sent:
+            # No route right now: try another holder after a short pause.
+            timeout = min(1.0, timeout)
+        pending.timeout_handle = self.context.sim.schedule(
+            timeout, self._remote_query_timeout, request_id
+        )
+
+    def _remote_query_timeout(self, request_id: int) -> None:
+        pending = self._pending_remote.pop(request_id, None)
+        if pending is None:
+            return
+        self.context.metrics.bump("query_retry")
+        self._start_remote_query(pending)
+
+    def _handle_query_request(self, message: QueryRequest) -> None:
+        """Holder side: validate our copy and reply through a RemoteJob."""
+        level = ConsistencyLevel(
+            {"strong": ConsistencyLevel.STRONG, "delta": ConsistencyLevel.DELTA}.get(
+                message.level_label, ConsistencyLevel.WEAK
+            )
+        )
+        job = RemoteJob(message.sender, message.request_id, message.item_id, level)
+        self.host.tracker.record_access()
+        master = self.host.source_item
+        if master is not None and master.item_id == message.item_id:
+            self.answer(job, master.version)
+            return
+        copy = self.host.store.get(message.item_id, self.now)
+        if copy is None:
+            # Evicted since discovery looked: stay silent, the client's
+            # timeout will try the next holder.
+            self.context.metrics.bump("remote_query_no_copy")
+            return
+        self.validate_hit(copy, level, job)
+
+    def _handle_query_reply(self, message: QueryReply) -> None:
+        """Client side: close the record and cache the returned copy."""
+        pending = self._pending_remote.pop(message.request_id, None)
+        if pending is None:
+            return  # late duplicate (a retry already succeeded)
+        pending.cancel_timeout()
+        if self.context.cache_on_read:
+            copy = CachedCopy(
+                message.item_id, message.version, message.content_size, self.now
+            )
+            evicted = self.host.store.put(copy)
+            if evicted is not None:
+                self.on_copy_evicted(evicted)
+            self.on_copy_installed(copy)
+        self.answer(pending.job, message.version)
+
+    def on_copy_installed(self, copy: CachedCopy) -> None:
+        """Hook: a fresh copy just entered the local store."""
+
+    def on_copy_evicted(self, item_id: int) -> None:
+        """Hook: replacement evicted ``item_id`` from the local store."""
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        """Route an incoming network message."""
+        if isinstance(message, QueryRequest):
+            self._handle_query_request(message)
+        elif isinstance(message, QueryReply):
+            self._handle_query_reply(message)
+        else:
+            self.handle_protocol_message(message)
+
+    @abc.abstractmethod
+    def handle_protocol_message(self, message: Message) -> None:
+        """Strategy-specific message handling."""
+
+    # ------------------------------------------------------------------
+    # Host lifecycle hooks (default no-ops)
+    # ------------------------------------------------------------------
+    def on_reconnect(self) -> None:
+        """The host just came back online."""
+
+    def on_disconnect(self) -> None:
+        """The host just went offline."""
+
+    def on_local_update(self, master: MasterCopy) -> None:
+        """This host just updated its master copy."""
+        self.context.metrics.staleness.record_update(
+            master.item_id, master.version, self.now
+        )
+
+    def on_period_closed(self) -> None:
+        """A coefficient period just rolled over."""

@@ -1,0 +1,58 @@
+"""Consistency levels (Section 3, eqs 3.2.1-3.2.3).
+
+* **Strong** — every served read returns the version current at the source
+  host when the query is served.
+* **Delta** — a served read may lag the master copy by at most ``delta``
+  seconds.
+* **Weak** — a served read returns *some* previous correct value.
+
+The paper's RPCC maps delta-consistency onto the cache peer's TTP window
+("in RPCC, TTP is the delta value", Section 4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConsistencyLevel", "parse_level"]
+
+
+class ConsistencyLevel(enum.Enum):
+    """The three consistency requirements a query may carry."""
+
+    STRONG = "strong"
+    DELTA = "delta"
+    WEAK = "weak"
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in metrics and reports."""
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_ALIASES = {
+    "strong": ConsistencyLevel.STRONG,
+    "sc": ConsistencyLevel.STRONG,
+    "delta": ConsistencyLevel.DELTA,
+    "dc": ConsistencyLevel.DELTA,
+    "weak": ConsistencyLevel.WEAK,
+    "wc": ConsistencyLevel.WEAK,
+}
+
+
+def parse_level(value: Union[str, ConsistencyLevel]) -> ConsistencyLevel:
+    """Coerce a string (``"strong"``/``"sc"``/...) to a level."""
+    if isinstance(value, ConsistencyLevel):
+        return value
+    try:
+        return _ALIASES[value.strip().lower()]
+    except (KeyError, AttributeError):
+        raise ConfigurationError(
+            f"unknown consistency level {value!r}; choose from {sorted(_ALIASES)}"
+        ) from None

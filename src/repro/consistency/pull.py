@@ -1,0 +1,169 @@
+"""Simple pull-based invalidation (the paper's second baseline).
+
+Every query at a cache node triggers an on-demand poll of the item's
+source host.  Lacking a routing substrate, the poll is *flooded* with
+``TTL_BR`` = 8 hops (Table 1 lists that TTL for both simple strategies);
+the source answers with a unicast reply that carries fresh content when
+the poller's copy was stale.
+
+This gives the short latency and the heavy per-query traffic the paper
+reports for pure pull.  When the source is unreachable the poller retries
+and finally serves its local copy stale (counted separately).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.item import CachedCopy
+from repro.consistency.base import (
+    BaseAgent,
+    ConsistencyStrategy,
+    PendingQuery,
+    QueryJob,
+    StrategyContext,
+)
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.messages import PullPoll, PullReply, next_poll_id
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.peers.host import MobileHost
+
+__all__ = ["PullStrategy", "PullAgent"]
+
+
+class PullStrategy(ConsistencyStrategy):
+    """Run-global configuration for simple pull.
+
+    Parameters
+    ----------
+    context:
+        Shared strategy plumbing.
+    ttl:
+        Flood scope of each poll in hops (Table 1: ``TTL_BR`` = 8).
+    poll_timeout:
+        Seconds a poller waits for the source's reply before retrying.
+    max_poll_attempts:
+        Poll attempts before the query is served stale from the local copy.
+    """
+
+    name = "pull"
+
+    def __init__(
+        self,
+        context: StrategyContext,
+        ttl: int = 8,
+        poll_timeout: float = 4.0,
+        max_poll_attempts: int = 2,
+    ) -> None:
+        super().__init__(context)
+        if ttl < 1:
+            raise ProtocolError(f"ttl must be >= 1, got {ttl!r}")
+        if poll_timeout <= 0:
+            raise ProtocolError(f"poll_timeout must be positive, got {poll_timeout!r}")
+        if max_poll_attempts < 1:
+            raise ProtocolError(
+                f"max_poll_attempts must be >= 1, got {max_poll_attempts!r}"
+            )
+        self.ttl = int(ttl)
+        self.poll_timeout = float(poll_timeout)
+        self.max_poll_attempts = int(max_poll_attempts)
+
+    def remote_query_timeout(self) -> float:
+        """Clients must outwait the holder's full poll-and-retry cycle."""
+        return self.max_poll_attempts * self.poll_timeout + 5.0
+
+    def make_agent(self, host: MobileHost) -> "PullAgent":
+        return PullAgent(self, host)
+
+
+class PullAgent(BaseAgent):
+    """Per-host endpoint of the simple pull strategy."""
+
+    def __init__(self, strategy: PullStrategy, host: MobileHost) -> None:
+        super().__init__(strategy, host)
+        self.pull: PullStrategy = strategy
+        self._pending_polls: Dict[int, PendingQuery] = {}
+
+    # ------------------------------------------------------------------
+    # Cache side
+    # ------------------------------------------------------------------
+    def validate_hit(
+        self, copy: CachedCopy, level: ConsistencyLevel, job: QueryJob
+    ) -> None:
+        """Every held copy is validated by polling the source."""
+        self._send_poll(PendingQuery(job), copy)
+
+    def _send_poll(self, pending: PendingQuery, copy: CachedCopy) -> None:
+        pending.attempts += 1
+        if pending.attempts > self.pull.max_poll_attempts:
+            self.context.metrics.bump("pull_fallback_stale")
+            self.answer(pending.job, copy.version)
+            return
+        poll_id = next_poll_id()
+        self._pending_polls[poll_id] = pending
+        poll = PullPoll(
+            sender=self.node_id,
+            item_id=copy.item_id,
+            version=copy.version,
+            poll_id=poll_id,
+        )
+        self.flood(poll, self.pull.ttl)
+        pending.timeout_handle = self.context.sim.schedule(
+            self.pull.poll_timeout, self._poll_timeout, poll_id
+        )
+
+    def _poll_timeout(self, poll_id: int) -> None:
+        pending = self._pending_polls.pop(poll_id, None)
+        if pending is None:
+            return
+        copy = self.host.store.peek(pending.item_id)
+        if copy is None:
+            self.context.metrics.bump("pull_copy_lost")
+            return
+        if pending.attempts < self.pull.max_poll_attempts:
+            self.context.metrics.bump("pull_retry")
+        self._send_poll(pending, copy)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_protocol_message(self, message: Message) -> None:
+        if isinstance(message, PullPoll):
+            self._handle_poll(message)
+        elif isinstance(message, PullReply):
+            self._handle_reply(message)
+        else:
+            raise ProtocolError(
+                f"pull agent cannot handle {message.type_name} messages"
+            )
+
+    def _handle_poll(self, message: PullPoll) -> None:
+        master = self.host.source_item
+        if master is None or master.item_id != message.item_id:
+            return  # the flood reached a non-source node; ignore
+        self.host.tracker.record_access()
+        up_to_date = message.version >= master.version
+        reply = PullReply(
+            sender=self.node_id,
+            item_id=master.item_id,
+            version=master.version,
+            poll_id=message.poll_id,
+            up_to_date=up_to_date,
+            content_size=master.content_size,
+        )
+        self.send(message.sender, reply)
+
+    def _handle_reply(self, message: PullReply) -> None:
+        pending = self._pending_polls.pop(message.poll_id, None)
+        if pending is None:
+            return  # duplicate or post-timeout reply
+        pending.cancel_timeout()
+        copy = self.host.store.peek(message.item_id)
+        if message.up_to_date:
+            version = copy.version if copy is not None else message.version
+            self.answer(pending.job, version)
+            return
+        if copy is not None:
+            copy.refresh(message.version, self.now)
+        self.answer(pending.job, message.version)

@@ -1,0 +1,240 @@
+"""Simple push-based invalidation (the paper's first baseline).
+
+Every source host periodically floods an invalidation report carrying the
+current version of its item (TTL ``TTL_BR`` = 8 hops, period ``TTN``).
+A query at a cache node cannot be answered until the *next* report proves
+the copy current (or exposes it as stale, triggering a content refresh
+from the source) — hence the paper's observation that "the average query
+latency is longer than half of the invalidation interval".
+
+Weakness faithfully reproduced: a node that misses reports (offline, or
+outside the flood's TTL scope) waits in vain; after ``wait_factor x TTN``
+it gives up and serves its possibly-stale local copy, which is exactly the
+stale-data-on-reconnection problem Section 4 attributes to pure push.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cache.item import CachedCopy
+from repro.consistency.base import (
+    BaseAgent,
+    ConsistencyStrategy,
+    PendingQuery,
+    QueryJob,
+    StrategyContext,
+)
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.messages import (
+    FetchReply,
+    FetchRequest,
+    PushInvalidation,
+    next_fetch_id,
+)
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.peers.host import MobileHost
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["PushStrategy", "PushAgent"]
+
+_GOLDEN = 0.6180339887498949  # deterministic per-source timer stagger
+
+
+class PushStrategy(ConsistencyStrategy):
+    """Run-global configuration and timer management for simple push.
+
+    Parameters
+    ----------
+    context:
+        Shared strategy plumbing.
+    ttn:
+        Invalidation-report period in seconds (Table 1: 2 minutes).
+    ttl:
+        Flood scope of the report in hops (Table 1: ``TTL_BR`` = 8).
+    wait_factor:
+        A waiting query gives up after ``wait_factor * ttn`` seconds and
+        serves its local copy stale.
+    """
+
+    name = "push"
+
+    def __init__(
+        self,
+        context: StrategyContext,
+        ttn: float = 120.0,
+        ttl: int = 8,
+        wait_factor: float = 2.5,
+    ) -> None:
+        super().__init__(context)
+        if ttn <= 0:
+            raise ProtocolError(f"ttn must be positive, got {ttn!r}")
+        if ttl < 1:
+            raise ProtocolError(f"ttl must be >= 1, got {ttl!r}")
+        self.ttn = float(ttn)
+        self.ttl = int(ttl)
+        self.wait_factor = float(wait_factor)
+        self._timers: List[PeriodicTimer] = []
+
+    def remote_query_timeout(self) -> float:
+        """Clients must outwait the holder's worst-case report wait."""
+        return self.wait_factor * self.ttn + 10.0
+
+    def make_agent(self, host: MobileHost) -> "PushAgent":
+        return PushAgent(self, host)
+
+    def start(self) -> None:
+        """Arm one staggered invalidation-report timer per source host."""
+        for agent in self.agents.values():
+            host = agent.host
+            if host.source_item is None:
+                continue
+            offset = self.ttn * ((host.node_id * _GOLDEN) % 1.0)
+            timer = PeriodicTimer(
+                self.context.sim,
+                self.ttn,
+                agent.broadcast_report,  # type: ignore[attr-defined]
+                start_offset=offset if offset > 0 else self.ttn,
+            )
+            timer.start()
+            self._timers.append(timer)
+
+    def stop(self) -> None:
+        """Disarm all report timers (used by tests)."""
+        for timer in self._timers:
+            timer.stop()
+        self._timers.clear()
+
+
+class PushAgent(BaseAgent):
+    """Per-host endpoint of the simple push strategy."""
+
+    def __init__(self, strategy: PushStrategy, host: MobileHost) -> None:
+        super().__init__(strategy, host)
+        self.push: PushStrategy = strategy
+        # item_id -> queries waiting for the next invalidation report
+        self._waiting: Dict[int, List[PendingQuery]] = {}
+        # items with a content refresh from the source in flight
+        self._refreshing: Set[int] = set()
+        self._refresh_ids: Dict[int, int] = {}  # fetch_id -> item_id
+
+    # ------------------------------------------------------------------
+    # Source side
+    # ------------------------------------------------------------------
+    def broadcast_report(self) -> None:
+        """Flood this host's invalidation report (periodic timer hook)."""
+        master = self.host.source_item
+        if master is None or not self.host.online:
+            return
+        report = PushInvalidation(
+            sender=self.node_id, item_id=master.item_id, version=master.version
+        )
+        self.flood(report, self.push.ttl)
+
+    # ------------------------------------------------------------------
+    # Cache side
+    # ------------------------------------------------------------------
+    def validate_hit(
+        self, copy: CachedCopy, level: ConsistencyLevel, job: QueryJob
+    ) -> None:
+        """Queue the query until the next report proves the copy's status."""
+        pending = PendingQuery(job)
+        self._waiting.setdefault(copy.item_id, []).append(pending)
+        deadline = self.push.wait_factor * self.push.ttn
+        pending.timeout_handle = self.context.sim.schedule(
+            deadline, self._give_up, copy.item_id, pending
+        )
+
+    def _give_up(self, item_id: int, pending: PendingQuery) -> None:
+        waiters = self._waiting.get(item_id)
+        if not waiters or pending not in waiters:
+            return
+        waiters.remove(pending)
+        copy = self.host.store.peek(item_id)
+        if copy is None:
+            self.context.metrics.bump("push_giveup_no_copy")
+            return
+        self.context.metrics.bump("push_fallback_stale")
+        self.answer(pending.job, copy.version)
+
+    def handle_protocol_message(self, message: Message) -> None:
+        if isinstance(message, PushInvalidation):
+            self._handle_report(message)
+        elif isinstance(message, FetchRequest):
+            self._handle_fetch_request(message)
+        elif isinstance(message, FetchReply):
+            self._handle_fetch_reply(message)
+        else:
+            raise ProtocolError(
+                f"push agent cannot handle {message.type_name} messages"
+            )
+
+    def _handle_report(self, message: PushInvalidation) -> None:
+        item_id = message.item_id
+        copy = self.host.store.peek(item_id)
+        if copy is None:
+            return
+        if copy.version >= message.version:
+            # Copy confirmed current: drain every waiting query.
+            for pending in self._waiting.pop(item_id, []):
+                pending.cancel_timeout()
+                self.answer(pending.job, copy.version)
+            return
+        # Copy is stale.  Refresh the content from the source when queries
+        # are waiting on it; all waiters drain when the new copy lands.
+        if self._waiting.get(item_id) and item_id not in self._refreshing:
+            self._start_refresh(item_id)
+
+    # ------------------------------------------------------------------
+    # Content refresh (source -> holder)
+    # ------------------------------------------------------------------
+    def _start_refresh(self, item_id: int) -> None:
+        fetch_id = next_fetch_id()
+        source = self.context.catalog.source_of(item_id)
+        request = FetchRequest(sender=self.node_id, item_id=item_id, fetch_id=fetch_id)
+        if self.send(source, request):
+            self._refreshing.add(item_id)
+            self._refresh_ids[fetch_id] = item_id
+            # If the reply never comes, the next report retries the refresh.
+            self.context.sim.schedule(
+                self.push.ttn, self._refresh_timeout, fetch_id
+            )
+        # When the source is unreachable the waiters simply keep waiting;
+        # their give-up timers bound the damage.
+
+    def _refresh_timeout(self, fetch_id: int) -> None:
+        item_id = self._refresh_ids.pop(fetch_id, None)
+        if item_id is not None:
+            self._refreshing.discard(item_id)
+
+    def _handle_fetch_request(self, message: FetchRequest) -> None:
+        master = self.host.source_item
+        if master is None or master.item_id != message.item_id:
+            return
+        reply = FetchReply(
+            sender=self.node_id,
+            item_id=master.item_id,
+            version=master.version,
+            fetch_id=message.fetch_id,
+            content_size=master.content_size,
+        )
+        self.send(message.sender, reply)
+
+    def _handle_fetch_reply(self, message: FetchReply) -> None:
+        item_id = self._refresh_ids.pop(message.fetch_id, None)
+        if item_id is None:
+            return
+        self._refreshing.discard(item_id)
+        copy = self.host.store.peek(item_id)
+        if copy is None:
+            return
+        if message.version > copy.version:
+            copy.refresh(message.version, self.now)
+        for pending in self._waiting.pop(item_id, []):
+            pending.cancel_timeout()
+            self.answer(pending.job, copy.version)
+
+    def waiting_count(self, item_id: int) -> int:
+        """Queries currently waiting for a report on ``item_id`` (tests)."""
+        return len(self._waiting.get(item_id, ()))

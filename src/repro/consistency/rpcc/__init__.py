@@ -1,0 +1,19 @@
+"""RPCC — Relay Peer-based Cache Consistency (Sections 4.1-4.5)."""
+
+from repro.consistency.rpcc.cache_peer import CachePeerSide
+from repro.consistency.rpcc.config import RPCCConfig
+from repro.consistency.rpcc.protocol import RPCCAgent, RPCCStrategy
+from repro.consistency.rpcc.relay import RelaySide
+from repro.consistency.rpcc.roles import Role, RoleTable
+from repro.consistency.rpcc.source import SourceSide
+
+__all__ = [
+    "RPCCConfig",
+    "RPCCStrategy",
+    "RPCCAgent",
+    "Role",
+    "RoleTable",
+    "SourceSide",
+    "RelaySide",
+    "CachePeerSide",
+]

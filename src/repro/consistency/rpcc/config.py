@@ -1,0 +1,130 @@
+"""RPCC protocol configuration (Table 1 defaults).
+
+All timer names follow Fig 6(a) of the paper:
+
+* ``TTN`` — time to notify: the source host's invalidation interval;
+* ``TTR`` — time to refresh: how long a relay peer trusts its copy;
+* ``TTP`` — time to poll: how long a cache peer trusts its copy
+  (also the Δ of delta-consistency, Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.peers.coefficients import SelectionThresholds
+
+__all__ = ["RPCCConfig"]
+
+
+@dataclass
+class RPCCConfig:
+    """Tunable parameters of the RPCC strategy.
+
+    Parameters
+    ----------
+    ttl_invalidation:
+        Flood scope of ``INVALIDATION`` in hops (Table 1: 3; swept in Fig 9).
+    ttn:
+        Source invalidation interval, seconds (Table 1: 2 minutes).
+    ttr:
+        Relay freshness window, seconds (Table 1: 1.5 minutes).
+    ttp:
+        Cache-peer freshness window = Δ, seconds (Table 1: 4 minutes).
+    poll_ttl:
+        Flood scope of ``POLL``; defaults to ``ttl_invalidation`` so cache
+        peers look for relays in the same neighbourhood size the
+        invalidation reaches.
+    poll_timeout:
+        Seconds a cache peer waits on the relay-unicast and relay-flood
+        poll stages before escalating to the next stage.
+    source_poll_timeout:
+        Seconds to wait on the wide-broadcast fallback poll before the
+        final retry / forced-stale answer.
+    max_source_poll_attempts:
+        Wide-broadcast fallback attempts before the final grace wait.
+    grace_timeout:
+        Final silent wait before a poll is served stale.  A relay whose
+        TTR expired legitimately *queues* the poll until its next
+        ``INVALIDATION`` (Fig 6(c) line 17), so the poller grants one TTR
+        dead window (``ttn - ttr``) plus slack for the late POLL_ACK.
+        Computed as ``ttn - ttr + 5`` when not given.
+    broadcast_ttl:
+        Flood scope of the fallback poll that must reach the source host
+        itself (``TTL_BR`` — the same 8 hops the simple strategies use,
+        which is what makes low-TTL RPCC degenerate into simple pull in
+        Fig 9).
+    remember_relay:
+        When ``True`` (default) a cache peer remembers which peer answered
+        its last poll for an item and unicasts subsequent polls there
+        first, flooding only when that relay stops answering.  This is the
+        natural reading of "find the nearest relay peer" (Section 4.1)
+        and keeps steady-state poll traffic per-query small.
+    relay_hold_notice:
+        When ``True`` (default) a relay that queues a poll (expired TTR)
+        unicasts a tiny ``POLL_HOLD`` back, so the poller waits for the
+        queued answer instead of escalating into broadcast floods.  A
+        reproduction addition beyond Fig 6; see DESIGN.md.
+    thresholds:
+        The ``mu`` thresholds of eq 4.2.8.
+    eager_relay_refresh:
+        Paper-faithful default ``False``: a relay with an expired TTR holds
+        incoming polls until the next ``INVALIDATION``.  When ``True`` it
+        sends ``GET_NEW`` immediately instead (latency ablation).
+    immediate_update_push:
+        Paper-faithful default ``False`` (Fig 6(b) batches ``UPDATE`` at
+        the TTN boundary).  When ``True`` the source pushes ``UPDATE`` to
+        its relays the moment the master copy changes (ablation).
+    """
+
+    ttl_invalidation: int = 3
+    ttn: float = 120.0
+    ttr: float = 90.0
+    ttp: float = 240.0
+    poll_ttl: Optional[int] = None
+    poll_timeout: float = 4.0
+    source_poll_timeout: float = 4.0
+    max_source_poll_attempts: int = 2
+    grace_timeout: Optional[float] = None
+    broadcast_ttl: int = 8
+    remember_relay: bool = True
+    relay_hold_notice: bool = True
+    thresholds: SelectionThresholds = field(default_factory=SelectionThresholds)
+    eager_relay_refresh: bool = False
+    immediate_update_push: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ttl_invalidation < 1:
+            raise ConfigurationError(
+                f"ttl_invalidation must be >= 1, got {self.ttl_invalidation!r}"
+            )
+        for name in ("ttn", "ttr", "ttp", "poll_timeout", "source_poll_timeout"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value!r}")
+        if self.max_source_poll_attempts < 1:
+            raise ConfigurationError(
+                "max_source_poll_attempts must be >= 1, "
+                f"got {self.max_source_poll_attempts!r}"
+            )
+        if self.broadcast_ttl < 1:
+            raise ConfigurationError(
+                f"broadcast_ttl must be >= 1, got {self.broadcast_ttl!r}"
+            )
+        if self.grace_timeout is None:
+            self.grace_timeout = max(5.0, self.ttn - self.ttr + 5.0)
+        elif self.grace_timeout <= 0:
+            raise ConfigurationError(
+                f"grace_timeout must be positive, got {self.grace_timeout!r}"
+            )
+        if self.poll_ttl is None:
+            self.poll_ttl = self.ttl_invalidation
+        elif self.poll_ttl < 1:
+            raise ConfigurationError(f"poll_ttl must be >= 1, got {self.poll_ttl!r}")
+
+    @property
+    def delta(self) -> float:
+        """The Δ bound of delta-consistency ("in RPCC, TTP is the Δ value")."""
+        return self.ttp

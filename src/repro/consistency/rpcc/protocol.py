@@ -1,0 +1,250 @@
+"""RPCC: Relay Peer-based Cache Consistency (the paper's contribution).
+
+:class:`RPCCStrategy` builds one :class:`RPCCAgent` per host; each agent
+composes the three protocol sides of Fig 6 —
+:class:`~repro.consistency.rpcc.source.SourceSide` (6b),
+:class:`~repro.consistency.rpcc.relay.RelaySide` (6c) and
+:class:`~repro.consistency.rpcc.cache_peer.CachePeerSide` (6d) — plus the
+Fig 5 role state machine that governs promotion and demotion.
+
+Promotion flow: a node hears ``INVALIDATION`` for an item it caches; if
+its coefficients pass eq 4.2.8 it sends ``APPLY`` and becomes a candidate;
+``APPLY_ACK`` (or an ``UPDATE`` that implies the ack was lost) promotes it
+to relay.  Demotion happens when coefficients fail at a period boundary
+(``CANCEL``) or when the cached item is evicted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.item import CachedCopy, MasterCopy
+from repro.consistency.base import (
+    BaseAgent,
+    ConsistencyStrategy,
+    QueryJob,
+    StrategyContext,
+)
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.messages import (
+    Apply,
+    ApplyAck,
+    Cancel,
+    GetNew,
+    Invalidation,
+    Poll,
+    PollAckA,
+    PollAckB,
+    PollHold,
+    SendNew,
+    Update,
+)
+from repro.consistency.rpcc.cache_peer import CachePeerSide
+from repro.consistency.rpcc.config import RPCCConfig
+from repro.consistency.rpcc.relay import RelaySide
+from repro.consistency.rpcc.roles import Role, RoleTable
+from repro.consistency.rpcc.source import SourceSide
+from repro.net.message import Message
+from repro.peers.host import MobileHost
+
+__all__ = ["RPCCStrategy", "RPCCAgent"]
+
+
+class RPCCStrategy(ConsistencyStrategy):
+    """Run-global RPCC state: configuration and fleet-wide introspection."""
+
+    name = "rpcc"
+
+    def __init__(self, context: StrategyContext, config: Optional[RPCCConfig] = None) -> None:
+        super().__init__(context)
+        self.config = config if config is not None else RPCCConfig()
+
+    def make_agent(self, host: MobileHost) -> "RPCCAgent":
+        return RPCCAgent(self, host)
+
+    def remote_query_timeout(self) -> float:
+        """Clients must outwait the holder's full poll-escalation ladder."""
+        config = self.config
+        pipeline = (
+            2 * config.poll_timeout
+            + config.max_source_poll_attempts * config.source_poll_timeout
+            + (config.grace_timeout or 0.0)
+        )
+        return pipeline + 5.0
+
+    def start(self) -> None:
+        """Arm every source host's TTN timer."""
+        for agent in self.agents.values():
+            assert isinstance(agent, RPCCAgent)
+            agent.source.start()
+
+    # ------------------------------------------------------------------
+    # Fleet-wide introspection (drives Fig 9 and the relay-count metric)
+    # ------------------------------------------------------------------
+    def relay_count(self) -> int:
+        """Total (node, item) relay relationships currently active."""
+        return sum(
+            agent.roles.relay_count
+            for agent in self.agents.values()
+            if isinstance(agent, RPCCAgent)
+        )
+
+    def relay_count_for(self, item_id: int) -> int:
+        """Number of hosts currently relaying ``item_id``."""
+        return sum(
+            1
+            for agent in self.agents.values()
+            if isinstance(agent, RPCCAgent) and agent.roles.is_relay(item_id)
+        )
+
+
+class RPCCAgent(BaseAgent):
+    """Per-host RPCC endpoint composing the Fig 6 sides."""
+
+    def __init__(self, strategy: RPCCStrategy, host: MobileHost) -> None:
+        super().__init__(strategy, host)
+        self.config = strategy.config
+        self.roles = RoleTable()
+        self.source = SourceSide(self, self.config)
+        self.relay = RelaySide(self, self.config)
+        self.cache_peer = CachePeerSide(self, self.config)
+        # Copies placed before the run starts count as freshly validated.
+        for item_id in host.store.item_ids:
+            self.cache_peer.renew_ttp(item_id)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def validate_hit(
+        self, copy: CachedCopy, level: ConsistencyLevel, job: QueryJob
+    ) -> None:
+        if self.roles.is_relay(copy.item_id) and self.relay.ttr_remaining(copy.item_id) > 0:
+            # A relay with an open TTR window is authoritative enough for
+            # any level: its copy tracks the source within the push period.
+            self.answer(job, copy.version, served_locally=True)
+            return
+        self.cache_peer.on_query(copy, level, job)
+
+    def on_copy_installed(self, copy: CachedCopy) -> None:
+        """A fetched copy just landed: open its TTP window."""
+        self.cache_peer.renew_ttp(copy.item_id)
+
+    def on_copy_evicted(self, item_id: int) -> None:
+        """Replacement pushed out an item: resign any role it carried."""
+        if self.roles.role(item_id) is not Role.CACHE_NODE:
+            self._resign(item_id)
+        self.cache_peer.forget(item_id)
+
+    def _resign(self, item_id: int) -> None:
+        if self.roles.is_relay(item_id):
+            cancel = Cancel(sender=self.node_id, item_id=item_id)
+            self.send(self.context.catalog.source_of(item_id), cancel)
+        self.roles.demote(item_id)
+        self.relay.forget(item_id)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_protocol_message(self, message: Message) -> None:
+        if isinstance(message, Invalidation):
+            self._handle_invalidation(message)
+        elif isinstance(message, Update):
+            self._handle_update(message)
+        elif isinstance(message, SendNew):
+            self.relay.on_send_new(message)
+        elif isinstance(message, GetNew):
+            self.source.handle_get_new(message)
+        elif isinstance(message, Apply):
+            self.source.handle_apply(message)
+        elif isinstance(message, ApplyAck):
+            self._handle_apply_ack(message)
+        elif isinstance(message, Cancel):
+            self.source.handle_cancel(message)
+        elif isinstance(message, Poll):
+            self._handle_poll(message)
+        elif isinstance(message, PollAckA):
+            self.cache_peer.on_poll_ack_a(message)
+        elif isinstance(message, PollAckB):
+            self.cache_peer.on_poll_ack_b(message)
+        elif isinstance(message, PollHold):
+            self.cache_peer.on_poll_hold(message)
+        # Unknown floods are bystander noise: already accounted as traffic.
+
+    def _handle_invalidation(self, message: Invalidation) -> None:
+        item_id = message.item_id
+        role = self.roles.role(item_id)
+        if role is Role.RELAY:
+            if item_id in self.host.store:
+                self.relay.on_invalidation(message)
+            else:
+                self._resign(item_id)
+            return
+        if role is Role.CANDIDATE:
+            return  # APPLY outstanding; retried at the next period if lost
+        # Plain cache node: Section 4.2 — hearing the INVALIDATION proves we
+        # are within TTL hops of the source, the precondition for candidacy.
+        if item_id in self.host.store and self.host.tracker.eligible(
+            self.config.thresholds
+        ):
+            self.roles.become_candidate(item_id)
+            apply = Apply(sender=self.node_id, item_id=item_id)
+            self.send(message.sender, apply)
+            self.context.metrics.bump("rpcc_apply_sent")
+
+    def _handle_update(self, message: Update) -> None:
+        role = self.roles.role(message.item_id)
+        if role is Role.RELAY:
+            self.relay.on_update(message)
+        elif role is Role.CANDIDATE:
+            # Fig 6(d) lines 27-31: the APPLY_ACK was lost but the source
+            # clearly added us — accept the promotion.
+            self.roles.promote(message.item_id)
+            self.context.metrics.bump("rpcc_promoted_via_update")
+            self.relay.on_update(message)
+        else:
+            self.cache_peer.on_update_as_cache(message)
+
+    def _handle_apply_ack(self, message: ApplyAck) -> None:
+        item_id = message.item_id
+        if item_id not in self.host.store:
+            # Evicted while the ACK was in flight: resign immediately.
+            cancel = Cancel(sender=self.node_id, item_id=item_id)
+            self.send(message.sender, cancel)
+            self.roles.demote(item_id)
+            return
+        self.roles.promote(item_id)
+        self.context.metrics.bump("rpcc_promotions")
+
+    def _handle_poll(self, message: Poll) -> None:
+        master = self.host.source_item
+        if master is not None and master.item_id == message.item_id:
+            self.source.handle_poll(message)
+            return
+        if self.roles.is_relay(message.item_id):
+            self.relay.on_poll(message)
+        # Otherwise: flood bystander; traffic already accounted.
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_local_update(self, master: MasterCopy) -> None:
+        super().on_local_update(master)
+        self.source.on_local_update(master)
+
+    def on_period_closed(self) -> None:
+        """Fig 5 maintenance at every coefficient/switching period."""
+        eligible = self.host.tracker.eligible(self.config.thresholds)
+        for item_id in self.roles.tracked_items():
+            if item_id not in self.host.store:
+                self._resign(item_id)
+                continue
+            role = self.roles.role(item_id)
+            if not eligible:
+                if role is Role.RELAY:
+                    self.context.metrics.bump("rpcc_demotions")
+                self._resign(item_id)
+            elif role is Role.CANDIDATE and self.host.online:
+                # New switching period: retry the (possibly lost) APPLY.
+                apply = Apply(sender=self.node_id, item_id=item_id)
+                self.send(self.context.catalog.source_of(item_id), apply)
+                self.context.metrics.bump("rpcc_apply_retry")

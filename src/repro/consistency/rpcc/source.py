@@ -1,0 +1,165 @@
+"""RPCC source-host side (Fig 6(b) of the paper).
+
+Each host is the source of exactly one item.  At every TTN boundary the
+source pushes ``UPDATE`` to the relay peers in its relay table (only when
+the master copy changed during the period — Fig 6(b) lines 1-6) and then
+floods ``INVALIDATION`` with the configured TTL.  It also serves
+``GET_NEW``, negotiates promotions (``APPLY``/``APPLY_ACK``), processes
+``CANCEL``, and answers direct fallback ``POLL`` messages from cache peers
+that found no relay nearby.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.cache.item import MasterCopy
+from repro.consistency.messages import (
+    Apply,
+    ApplyAck,
+    Cancel,
+    GetNew,
+    Invalidation,
+    Poll,
+    PollAckA,
+    PollAckB,
+    SendNew,
+    Update,
+)
+from repro.consistency.rpcc.config import RPCCConfig
+from repro.sim.timers import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.consistency.rpcc.protocol import RPCCAgent
+
+__all__ = ["SourceSide"]
+
+_GOLDEN = 0.6180339887498949
+
+
+class SourceSide:
+    """Source-host behaviour for the one item this host owns."""
+
+    def __init__(self, agent: "RPCCAgent", config: RPCCConfig) -> None:
+        self.agent = agent
+        self.config = config
+        self.relay_table: Set[int] = set()
+        self._last_pushed_version = 0
+        self._timer: Optional[PeriodicTimer] = None
+
+    # ------------------------------------------------------------------
+    # Timer
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the TTN timer (staggered deterministically per host)."""
+        if self.agent.host.source_item is None or self._timer is not None:
+            return
+        offset = self.config.ttn * ((self.agent.node_id * _GOLDEN) % 1.0)
+        self._timer = PeriodicTimer(
+            self.agent.context.sim,
+            self.config.ttn,
+            self._on_ttn,
+            start_offset=offset if offset > 0 else self.config.ttn,
+        )
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Disarm the TTN timer."""
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _on_ttn(self) -> None:
+        """Fig 6(b) lines 1-8: push batched UPDATE, then flood INVALIDATION."""
+        master = self.agent.host.source_item
+        if master is None or not self.agent.host.online:
+            return
+        if master.version > self._last_pushed_version:
+            self._push_update(master)
+        invalidation = Invalidation(
+            sender=self.agent.node_id, item_id=master.item_id, version=master.version
+        )
+        self.agent.flood(invalidation, self.config.ttl_invalidation)
+
+    def _push_update(self, master: MasterCopy) -> None:
+        update = Update(
+            sender=self.agent.node_id,
+            item_id=master.item_id,
+            version=master.version,
+            content_size=master.content_size,
+        )
+        for relay_id in sorted(self.relay_table):
+            if not self.agent.send(relay_id, update):
+                # The relay will resynchronise via INVALIDATION + GET_NEW.
+                self.agent.context.metrics.bump("rpcc_update_undeliverable")
+        self._last_pushed_version = master.version
+
+    def on_local_update(self, master: MasterCopy) -> None:
+        """Optionally push the update immediately (ablation flag)."""
+        if self.config.immediate_update_push and self.agent.host.online:
+            self._push_update(master)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _owns(self, item_id: int) -> bool:
+        master = self.agent.host.source_item
+        return master is not None and master.item_id == item_id
+
+    def handle_get_new(self, message: GetNew) -> None:
+        """Fig 6(b) lines 9-11: a relay missed updates; ship fresh content."""
+        if not self._owns(message.item_id):
+            return
+        master = self.agent.host.source_item
+        assert master is not None
+        reply = SendNew(
+            sender=self.agent.node_id,
+            item_id=master.item_id,
+            version=master.version,
+            content_size=master.content_size,
+        )
+        self.agent.send(message.sender, reply)
+
+    def handle_apply(self, message: Apply) -> None:
+        """Fig 6(b) lines 12-15: approve a candidate's promotion."""
+        if not self._owns(message.item_id):
+            return
+        self.relay_table.add(message.sender)
+        ack = ApplyAck(
+            sender=self.agent.node_id,
+            item_id=message.item_id,
+            relay_id=message.sender,
+        )
+        if not self.agent.send(message.sender, ack):
+            # Fig 6(b) lines 16-18 / Section 4.5: the candidate became
+            # unreachable (detected at the MAC layer); drop it again.
+            self.relay_table.discard(message.sender)
+            self.agent.context.metrics.bump("rpcc_apply_ack_undeliverable")
+
+    def handle_cancel(self, message: Cancel) -> None:
+        """Fig 6(b) lines 16-18: a relay resigned."""
+        self.relay_table.discard(message.sender)
+
+    def handle_poll(self, message: Poll) -> None:
+        """Fallback direct poll from a cache peer that found no relay."""
+        if not self._owns(message.item_id):
+            return
+        master = self.agent.host.source_item
+        assert master is not None
+        self.agent.host.tracker.record_access()
+        if message.version >= master.version:
+            reply: object = PollAckA(
+                sender=self.agent.node_id,
+                item_id=master.item_id,
+                version=master.version,
+                poll_id=message.poll_id,
+            )
+        else:
+            reply = PollAckB(
+                sender=self.agent.node_id,
+                item_id=master.item_id,
+                version=master.version,
+                poll_id=message.poll_id,
+                content_size=master.content_size,
+            )
+        self.agent.send(message.sender, reply)

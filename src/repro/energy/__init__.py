@@ -1,0 +1,5 @@
+"""Energy substrate: batteries and per-operation costs (feeds CE)."""
+
+from repro.energy.battery import Battery, EnergyCosts
+
+__all__ = ["Battery", "EnergyCosts"]

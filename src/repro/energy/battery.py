@@ -1,0 +1,145 @@
+"""Battery model backing the paper's CE (coefficient of energy) input.
+
+Eq. 4.2.7 defines ``CE = PER_t / E_MAX`` — the current energy level as a
+fraction of maximum.  The battery drains on every transmission, reception
+and with idle time; relay-peer selection then prefers nodes with
+``CE > mu_CE``.
+
+Costs default to values in the spirit of early-2000s 802.11 measurement
+studies (transmit more expensive than receive, both dominated by per-packet
+fixed cost at these message sizes).  Absolute joules are irrelevant to the
+reproduction — only the *relative ordering* of node energy levels feeds the
+selection criterion.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EnergyCosts", "Battery"]
+
+
+class EnergyCosts:
+    """Per-operation energy prices in joules.
+
+    Parameters
+    ----------
+    tx_fixed / rx_fixed:
+        Fixed cost per transmitted / received packet.
+    tx_per_byte / rx_per_byte:
+        Incremental cost per payload byte.
+    idle_per_second:
+        Baseline drain while powered on.
+    """
+
+    def __init__(
+        self,
+        tx_fixed: float = 0.002,
+        tx_per_byte: float = 0.000002,
+        rx_fixed: float = 0.001,
+        rx_per_byte: float = 0.000001,
+        idle_per_second: float = 0.0001,
+    ) -> None:
+        for name, value in (
+            ("tx_fixed", tx_fixed),
+            ("tx_per_byte", tx_per_byte),
+            ("rx_fixed", rx_fixed),
+            ("rx_per_byte", rx_per_byte),
+            ("idle_per_second", idle_per_second),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+        self.tx_fixed = tx_fixed
+        self.tx_per_byte = tx_per_byte
+        self.rx_fixed = rx_fixed
+        self.rx_per_byte = rx_per_byte
+        self.idle_per_second = idle_per_second
+
+    def transmit_cost(self, size_bytes: int) -> float:
+        """Energy to transmit one packet of ``size_bytes``."""
+        return self.tx_fixed + self.tx_per_byte * size_bytes
+
+    def receive_cost(self, size_bytes: int) -> float:
+        """Energy to receive one packet of ``size_bytes``."""
+        return self.rx_fixed + self.rx_per_byte * size_bytes
+
+
+class Battery:
+    """Finite energy store of one mobile host.
+
+    Parameters
+    ----------
+    capacity:
+        ``E_MAX`` in joules; also the initial charge unless ``initial`` is
+        given.
+    costs:
+        Per-operation prices; shared between hosts by default.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 100.0,
+        costs: EnergyCosts | None = None,
+        initial: float | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = float(capacity)
+        self.costs = costs if costs is not None else EnergyCosts()
+        level = capacity if initial is None else float(initial)
+        if not 0.0 <= level <= capacity:
+            raise ConfigurationError(
+                f"initial charge {level!r} outside [0, {capacity!r}]"
+            )
+        self._level = level
+        self.total_consumed = 0.0
+        self.tx_count = 0
+        self.rx_count = 0
+
+    @property
+    def level(self) -> float:
+        """Remaining energy (``PER_t``) in joules."""
+        return self._level
+
+    @property
+    def fraction(self) -> float:
+        """``CE = PER_t / E_MAX`` — the paper's coefficient of energy."""
+        return self._level / self.capacity
+
+    @property
+    def depleted(self) -> bool:
+        """``True`` once the battery is empty."""
+        return self._level <= 0.0
+
+    def consume(self, joules: float) -> None:
+        """Drain ``joules`` (clamped at empty)."""
+        if joules < 0:
+            raise ConfigurationError(f"cannot consume negative energy: {joules!r}")
+        drained = min(joules, self._level)
+        self._level -= drained
+        self.total_consumed += drained
+
+    def on_transmit(self, size_bytes: int) -> None:
+        """Charge a packet transmission to the battery."""
+        self.tx_count += 1
+        self.consume(self.costs.transmit_cost(size_bytes))
+
+    def on_receive(self, size_bytes: int) -> None:
+        """Charge a packet reception to the battery."""
+        self.rx_count += 1
+        self.consume(self.costs.receive_cost(size_bytes))
+
+    def idle(self, seconds: float) -> None:
+        """Charge ``seconds`` of idle drain to the battery."""
+        if seconds < 0:
+            raise ConfigurationError(f"idle time must be >= 0, got {seconds!r}")
+        self.consume(self.costs.idle_per_second * seconds)
+
+    def recharge(self, joules: float | None = None) -> None:
+        """Recharge by ``joules`` (full recharge when omitted)."""
+        if joules is None:
+            self._level = self.capacity
+        else:
+            if joules < 0:
+                raise ConfigurationError(f"recharge must be >= 0, got {joules!r}")
+            self._level = min(self.capacity, self._level + joules)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or re-used illegally."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object holds inconsistent values."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology queries (e.g. unknown node identifiers)."""
+
+
+class RoutingError(TopologyError):
+    """Raised when a route is requested between unknown endpoints."""
+
+
+class CacheError(ReproError):
+    """Raised for invalid cooperative-cache operations."""
+
+
+class CacheCapacityError(CacheError):
+    """Raised when a cache is created with a non-positive capacity."""
+
+
+class UnknownItemError(CacheError):
+    """Raised when an operation references a data item that does not exist."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a consistency protocol receives an impossible message."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload generator parameters."""

@@ -1,0 +1,32 @@
+"""Experiment harness: Table-1 config, runner, figure reproductions."""
+
+from repro.experiments.analysis import TrafficSplit, rpcc_traffic_split
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import (
+    STRATEGY_SPECS,
+    Simulation,
+    SimulationResult,
+    build_simulation,
+    run_simulation,
+)
+from repro.experiments.stats import (
+    MetricStats,
+    aggregate,
+    run_replicated,
+    summarize_metric,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "STRATEGY_SPECS",
+    "Simulation",
+    "SimulationResult",
+    "build_simulation",
+    "run_simulation",
+    "MetricStats",
+    "aggregate",
+    "run_replicated",
+    "summarize_metric",
+    "TrafficSplit",
+    "rpcc_traffic_split",
+]

@@ -1,0 +1,66 @@
+"""Post-run analysis helpers for the paper's discussion points.
+
+Fig 7(c)'s discussion reasons about RPCC's *push share* (source→relay
+overlay maintenance) versus *pull share* (cache-peer polling): "the pull
+traffic can reduce while the push traffic increases at the same time".
+These helpers slice a run's per-type transmission counters along exactly
+that line so the claim is checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.consistency.messages import RPCC_PULL_TYPES, RPCC_PUSH_TYPES
+from repro.metrics.collector import MetricsSummary
+
+__all__ = ["TrafficSplit", "rpcc_traffic_split"]
+
+#: Remote-query plumbing shared by every strategy (not protocol traffic).
+QUERY_TYPES = ("QueryRequest", "QueryReply")
+
+
+@dataclass(frozen=True)
+class TrafficSplit:
+    """One run's transmissions split along the paper's push/pull axis."""
+
+    push: int
+    pull: int
+    query: int
+    other: int
+
+    @property
+    def total(self) -> int:
+        """All transmissions of the run."""
+        return self.push + self.pull + self.query + self.other
+
+    @property
+    def push_share(self) -> float:
+        """Push fraction of the protocol (push+pull) traffic."""
+        protocol = self.push + self.pull
+        return self.push / protocol if protocol else 0.0
+
+    @property
+    def pull_share(self) -> float:
+        """Pull fraction of the protocol (push+pull) traffic."""
+        protocol = self.push + self.pull
+        return self.pull / protocol if protocol else 0.0
+
+
+def rpcc_traffic_split(summary: MetricsSummary) -> TrafficSplit:
+    """Split an RPCC run's transmissions into push / pull / query / other.
+
+    * **push** — overlay maintenance: ``INVALIDATION``, ``UPDATE``,
+      ``GET_NEW``/``SEND_NEW``, ``APPLY``/``APPLY_ACK``/``CANCEL``;
+    * **pull** — on-demand validation: ``POLL`` and its acknowledgements
+      (including the ``POLL_HOLD`` notice);
+    * **query** — the strategy-independent remote-query plumbing;
+    * **other** — anything else (zero for a stock RPCC run).
+    """
+    by_type: Dict[str, int] = summary.transmissions_by_type
+    push = sum(by_type.get(name, 0) for name in RPCC_PUSH_TYPES)
+    pull = sum(by_type.get(name, 0) for name in RPCC_PULL_TYPES)
+    query = sum(by_type.get(name, 0) for name in QUERY_TYPES)
+    other = summary.transmissions - push - pull - query
+    return TrafficSplit(push=push, pull=pull, query=query, other=other)

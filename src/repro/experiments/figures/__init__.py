@@ -1,0 +1,32 @@
+"""Per-figure reproduction modules (one per panel of the paper)."""
+
+from repro.experiments.figures.base import FigureData, extract_series, run_axis_sweep
+from repro.experiments.figures.fig7 import (
+    CACHE_NUMBERS,
+    QUERY_INTERVALS,
+    UPDATE_INTERVALS,
+    fig7a,
+    fig7b,
+    fig7c,
+)
+from repro.experiments.figures.fig8 import fig8a, fig8b, fig8c
+from repro.experiments.figures.fig9 import TTL_VALUES, fig9a, fig9b, run_fig9
+
+__all__ = [
+    "FigureData",
+    "run_axis_sweep",
+    "extract_series",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9a",
+    "fig9b",
+    "run_fig9",
+    "UPDATE_INTERVALS",
+    "QUERY_INTERVALS",
+    "CACHE_NUMBERS",
+    "TTL_VALUES",
+]

@@ -1,0 +1,127 @@
+"""Figure data containers and the shared parameter-sweep engine.
+
+Fig 7 (traffic) and Fig 8 (latency) plot different metrics of the *same*
+sweeps, so the sweep engine returns full :class:`SimulationResult` objects
+keyed by ``(spec, x)``; the figure modules extract their column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import SimulationResult, run_simulation
+from repro.metrics.report import format_table
+
+__all__ = ["FigureData", "run_axis_sweep", "extract_series"]
+
+#: Config fields a figure may sweep.
+_SWEEPABLE = {
+    "update_interval",
+    "query_interval",
+    "cache_num",
+    "ttl_rpcc",
+    "n_peers",
+    "stable_fraction",
+    "ttr",
+    "ttn",
+    "ttp",
+}
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: x values and one y series per strategy."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the figure as the table of rows the paper plots."""
+        headers = [self.x_label] + list(self.series)
+        rows = []
+        for index, x_value in enumerate(self.x_values):
+            row: List[object] = [x_value]
+            for spec in self.series:
+                row.append(self.series[spec][index])
+            rows.append(row)
+        heading = f"{self.figure_id}: {self.title}  (y = {self.y_label})"
+        return format_table(headers, rows, title=heading)
+
+    def value(self, spec: str, x: float) -> float:
+        """Look up one y value by strategy and x."""
+        index = self.x_values.index(x)
+        return self.series[spec][index]
+
+    def to_csv(self) -> str:
+        """Serialize the figure as CSV (x column + one column per series)."""
+        header = [self.x_label] + list(self.series)
+        lines = [",".join(header)]
+        for index, x_value in enumerate(self.x_values):
+            row = [repr(x_value)]
+            for spec in self.series:
+                row.append(repr(self.series[spec][index]))
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_csv())
+
+    def plot(self, width: int = 64, height: int = 16, log_y: bool = False) -> str:
+        """Render the figure as an ASCII chart (Fig 8 wants ``log_y``)."""
+        from repro.viz.ascii import ascii_chart
+
+        return ascii_chart(
+            self.x_values,
+            self.series,
+            width=width,
+            height=height,
+            log_y=log_y,
+            title=f"{self.figure_id}: {self.title}",
+            y_label=self.y_label,
+        )
+
+
+def run_axis_sweep(
+    config: SimulationConfig,
+    axis: str,
+    values: Sequence[float],
+    specs: Sequence[str],
+    scenario: str = "standard",
+) -> Dict[Tuple[str, float], SimulationResult]:
+    """Run every (strategy, axis value) combination.
+
+    Each run re-derives its seed from the base seed, the axis and the spec
+    so that runs are independent yet reproducible.
+    """
+    if axis not in _SWEEPABLE:
+        raise ConfigurationError(
+            f"cannot sweep {axis!r}; choose from {sorted(_SWEEPABLE)}"
+        )
+    results: Dict[Tuple[str, float], SimulationResult] = {}
+    for value in values:
+        kwargs = {axis: type(getattr(config, axis))(value)}
+        point_config = config.with_overrides(**kwargs)
+        for spec in specs:
+            results[(spec, value)] = run_simulation(point_config, spec, scenario)
+    return results
+
+
+def extract_series(
+    results: Dict[Tuple[str, float], SimulationResult],
+    specs: Sequence[str],
+    values: Sequence[float],
+    metric: Callable[[SimulationResult], float],
+) -> Dict[str, List[float]]:
+    """Project sweep results onto one y series per strategy."""
+    return {
+        spec: [metric(results[(spec, value)]) for value in values] for spec in specs
+    }

@@ -1,0 +1,119 @@
+"""Fig 7 — network traffic of the compared strategies.
+
+Three panels, each sweeping one workload parameter with everything else at
+Table 1 defaults:
+
+* 7(a): traffic vs the **update interval**;
+* 7(b): traffic vs the **query (request) interval**;
+* 7(c): traffic vs the **cache number** per host.
+
+The y value is total per-hop transmissions over the run.  Expected shapes
+(the reproduction target): pull far above everything, RPCC-WC/DC lowest,
+RPCC-SC between, RPCC-HY near the push curve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures.base import FigureData, extract_series, run_axis_sweep
+from repro.experiments.runner import STRATEGY_SPECS, SimulationResult
+
+__all__ = [
+    "UPDATE_INTERVALS",
+    "QUERY_INTERVALS",
+    "CACHE_NUMBERS",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+]
+
+UPDATE_INTERVALS: Tuple[float, ...] = (30.0, 60.0, 120.0, 240.0, 480.0)
+QUERY_INTERVALS: Tuple[float, ...] = (5.0, 10.0, 20.0, 40.0, 80.0)
+CACHE_NUMBERS: Tuple[int, ...] = (2, 5, 10, 15, 20)
+
+
+def _traffic(result: SimulationResult) -> float:
+    return float(result.summary.transmissions)
+
+
+def _panel(
+    figure_id: str,
+    title: str,
+    axis: str,
+    x_label: str,
+    values: Sequence[float],
+    config: Optional[SimulationConfig],
+    specs: Sequence[str],
+    results: Optional[Dict] = None,
+) -> FigureData:
+    base = config if config is not None else SimulationConfig()
+    if results is None:
+        results = run_axis_sweep(base, axis, values, specs)
+    series = extract_series(results, specs, values, _traffic)
+    return FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        y_label="transmissions",
+        x_values=list(values),
+        series=series,
+    )
+
+
+def fig7a(
+    config: Optional[SimulationConfig] = None,
+    specs: Sequence[str] = STRATEGY_SPECS,
+    update_intervals: Sequence[float] = UPDATE_INTERVALS,
+    results: Optional[Dict] = None,
+) -> FigureData:
+    """Traffic vs update interval (seconds)."""
+    return _panel(
+        "Fig 7(a)",
+        "network traffic vs update interval",
+        "update_interval",
+        "update interval (s)",
+        update_intervals,
+        config,
+        specs,
+        results,
+    )
+
+
+def fig7b(
+    config: Optional[SimulationConfig] = None,
+    specs: Sequence[str] = STRATEGY_SPECS,
+    query_intervals: Sequence[float] = QUERY_INTERVALS,
+    results: Optional[Dict] = None,
+) -> FigureData:
+    """Traffic vs query interval (seconds)."""
+    return _panel(
+        "Fig 7(b)",
+        "network traffic vs request interval",
+        "query_interval",
+        "query interval (s)",
+        query_intervals,
+        config,
+        specs,
+        results,
+    )
+
+
+def fig7c(
+    config: Optional[SimulationConfig] = None,
+    specs: Sequence[str] = STRATEGY_SPECS,
+    cache_numbers: Sequence[int] = CACHE_NUMBERS,
+    results: Optional[Dict] = None,
+) -> FigureData:
+    """Traffic vs cache number per host."""
+    return _panel(
+        "Fig 7(c)",
+        "network traffic vs cache number",
+        "cache_num",
+        "cache number",
+        list(cache_numbers),
+        config,
+        specs,
+        results,
+    )

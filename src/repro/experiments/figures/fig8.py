@@ -1,0 +1,110 @@
+"""Fig 8 — query latency of the compared strategies (the paper plots it on
+a log scale).
+
+Same three sweeps as Fig 7; the y value is the mean answered-query latency
+in seconds.  Expected shapes: push around half its invalidation interval
+and far above everything else; RPCC at the pull level; RPCC latency
+falling as the cache number (hence the relay population) grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures.base import FigureData, extract_series, run_axis_sweep
+from repro.experiments.figures.fig7 import (
+    CACHE_NUMBERS,
+    QUERY_INTERVALS,
+    UPDATE_INTERVALS,
+)
+from repro.experiments.runner import STRATEGY_SPECS, SimulationResult
+
+__all__ = ["fig8a", "fig8b", "fig8c"]
+
+
+def _latency(result: SimulationResult) -> float:
+    # Cache-hit latency isolates the consistency check the paper measures;
+    # miss queries exercise the strategy-independent fetch path instead.
+    return result.summary.mean_hit_latency
+
+
+def _panel(
+    figure_id: str,
+    title: str,
+    axis: str,
+    x_label: str,
+    values: Sequence[float],
+    config: Optional[SimulationConfig],
+    specs: Sequence[str],
+    results: Optional[Dict] = None,
+) -> FigureData:
+    base = config if config is not None else SimulationConfig()
+    if results is None:
+        results = run_axis_sweep(base, axis, values, specs)
+    series = extract_series(results, specs, values, _latency)
+    return FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        y_label="mean hit latency (s)",
+        x_values=list(values),
+        series=series,
+    )
+
+
+def fig8a(
+    config: Optional[SimulationConfig] = None,
+    specs: Sequence[str] = STRATEGY_SPECS,
+    update_intervals: Sequence[float] = UPDATE_INTERVALS,
+    results: Optional[Dict] = None,
+) -> FigureData:
+    """Latency vs update interval (seconds)."""
+    return _panel(
+        "Fig 8(a)",
+        "query latency vs update interval",
+        "update_interval",
+        "update interval (s)",
+        update_intervals,
+        config,
+        specs,
+        results,
+    )
+
+
+def fig8b(
+    config: Optional[SimulationConfig] = None,
+    specs: Sequence[str] = STRATEGY_SPECS,
+    query_intervals: Sequence[float] = QUERY_INTERVALS,
+    results: Optional[Dict] = None,
+) -> FigureData:
+    """Latency vs query interval (seconds)."""
+    return _panel(
+        "Fig 8(b)",
+        "query latency vs request interval",
+        "query_interval",
+        "query interval (s)",
+        query_intervals,
+        config,
+        specs,
+        results,
+    )
+
+
+def fig8c(
+    config: Optional[SimulationConfig] = None,
+    specs: Sequence[str] = STRATEGY_SPECS,
+    cache_numbers: Sequence[int] = CACHE_NUMBERS,
+    results: Optional[Dict] = None,
+) -> FigureData:
+    """Latency vs cache number per host."""
+    return _panel(
+        "Fig 8(c)",
+        "query latency vs cache number",
+        "cache_num",
+        "cache number",
+        list(cache_numbers),
+        config,
+        specs,
+        results,
+    )

@@ -1,0 +1,104 @@
+"""Fig 9 — impact of the invalidation TTL on RPCC(SC).
+
+Scenario (Section 5.3): one randomly selected source host whose item is
+cached by every other peer; the invalidation TTL of RPCC is swept from 1
+to 7 hops; simple push and pull are simulated once each as references.
+
+Expected shapes: at TTL 1 the relay population is tiny and RPCC's traffic
+approaches simple pull; at TTL 7 most cache peers can relay and RPCC
+approaches simple push, while latency falls with TTL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures.base import FigureData
+from repro.experiments.runner import SimulationResult, run_simulation
+
+__all__ = ["TTL_VALUES", "run_fig9", "fig9a", "fig9b"]
+
+TTL_VALUES: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7)
+
+
+def run_fig9(
+    config: Optional[SimulationConfig] = None,
+    ttls: Sequence[int] = TTL_VALUES,
+    include_reference: bool = True,
+) -> Dict[str, object]:
+    """Run the Fig 9 scenario once; both panels extract from this.
+
+    Returns a dict with ``"rpcc"`` (ttl -> result), and optionally
+    ``"push"``/``"pull"`` reference results.
+    """
+    base = config if config is not None else SimulationConfig()
+    rpcc_results: Dict[int, SimulationResult] = {}
+    for ttl in ttls:
+        point = base.with_overrides(ttl_rpcc=int(ttl))
+        rpcc_results[int(ttl)] = run_simulation(point, "rpcc-sc", "single_source")
+    payload: Dict[str, object] = {"rpcc": rpcc_results, "ttls": list(ttls)}
+    if include_reference:
+        payload["push"] = run_simulation(base, "push", "single_source")
+        payload["pull"] = run_simulation(base, "pull", "single_source")
+    return payload
+
+
+def _panel(
+    figure_id: str,
+    title: str,
+    y_label: str,
+    metric,
+    payload: Dict[str, object],
+) -> FigureData:
+    ttls = list(payload["ttls"])  # type: ignore[arg-type]
+    rpcc_results: Dict[int, SimulationResult] = payload["rpcc"]  # type: ignore[assignment]
+    series: Dict[str, list] = {
+        "rpcc-sc": [metric(rpcc_results[int(ttl)]) for ttl in ttls]
+    }
+    for reference in ("push", "pull"):
+        if reference in payload:
+            value = metric(payload[reference])
+            series[reference] = [value] * len(ttls)
+    return FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label="invalidation TTL (hops)",
+        y_label=y_label,
+        x_values=[float(ttl) for ttl in ttls],
+        series=series,
+    )
+
+
+def fig9a(
+    config: Optional[SimulationConfig] = None,
+    ttls: Sequence[int] = TTL_VALUES,
+    payload: Optional[Dict[str, object]] = None,
+) -> FigureData:
+    """Traffic vs invalidation TTL."""
+    if payload is None:
+        payload = run_fig9(config, ttls)
+    return _panel(
+        "Fig 9(a)",
+        "network traffic vs invalidation TTL",
+        "transmissions",
+        lambda result: float(result.summary.transmissions),
+        payload,
+    )
+
+
+def fig9b(
+    config: Optional[SimulationConfig] = None,
+    ttls: Sequence[int] = TTL_VALUES,
+    payload: Optional[Dict[str, object]] = None,
+) -> FigureData:
+    """Latency vs invalidation TTL."""
+    if payload is None:
+        payload = run_fig9(config, ttls)
+    return _panel(
+        "Fig 9(b)",
+        "query latency vs invalidation TTL",
+        "mean hit latency (s)",
+        lambda result: result.summary.mean_hit_latency,
+        payload,
+    )

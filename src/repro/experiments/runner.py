@@ -1,0 +1,390 @@
+"""Build and run complete simulations.
+
+A *strategy spec* names what Fig 7/8 plot on their legends:
+
+* ``"push"`` / ``"pull"`` — the baselines (always validated strongly);
+* ``"rpcc-sc"`` / ``"rpcc-dc"`` / ``"rpcc-wc"`` — RPCC under a pure
+  consistency-level workload;
+* ``"rpcc-hy"`` — RPCC under the hybrid workload (equal thirds).
+
+Two scenarios exist: ``"standard"`` (Table 1, random placement) and
+``"single_source"`` (Fig 9: one randomly chosen source whose item is
+cached by every other peer).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.catalog import Catalog
+from repro.cache.directory import CacheDirectory
+from repro.cache.discovery import Discovery
+from repro.cache.placement import random_placement, single_item_placement
+from repro.consistency.base import ConsistencyStrategy, StrategyContext
+from repro.consistency.pull import PullStrategy
+from repro.consistency.push import PushStrategy
+from repro.consistency.rpcc import RPCCConfig, RPCCStrategy
+from repro.energy.battery import Battery
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.metrics.collector import MetricsCollector, MetricsSummary
+from repro.metrics.timeseries import TimeSeries
+from repro.mobility.stationary import Stationary
+from repro.mobility.subnets import SubnetGrid, SubnetTracker
+from repro.mobility.terrain import Terrain
+from repro.mobility.walk import RandomWalk
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.link import LinkModel
+from repro.net.network import Network
+from repro.net.routing import CachingRouter, ShortestPathRouter
+from repro.peers.coefficients import CoefficientTracker
+from repro.peers.host import MobileHost
+from repro.peers.switching import SwitchingProcess
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.timers import PeriodicTimer
+from repro.workload.access import AccessPattern, UniformAccess, ZipfAccess
+from repro.workload.drivers import QueryWorkload, UpdateWorkload
+from repro.workload.mix import LevelMix
+
+__all__ = [
+    "STRATEGY_SPECS",
+    "Simulation",
+    "SimulationResult",
+    "build_simulation",
+    "run_simulation",
+]
+
+#: Every legend entry of Fig 7/8.
+STRATEGY_SPECS = ("pull", "push", "rpcc-sc", "rpcc-dc", "rpcc-wc", "rpcc-hy")
+
+
+def _parse_spec(spec: str) -> Tuple[str, LevelMix]:
+    spec = spec.strip().lower()
+    if spec == "push" or spec == "pull":
+        return spec, LevelMix.pure("sc")
+    if spec.startswith("rpcc-"):
+        suffix = spec.split("-", 1)[1]
+        if suffix == "hy":
+            return "rpcc", LevelMix.hybrid()
+        return "rpcc", LevelMix.pure(suffix)
+    raise ConfigurationError(
+        f"unknown strategy spec {spec!r}; choose from {STRATEGY_SPECS}"
+    )
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run reports."""
+
+    spec: str
+    scenario: str
+    config: SimulationConfig
+    summary: MetricsSummary
+    total_queries: int
+    total_updates: int
+    relay_samples: List[Tuple[float, int]] = field(default_factory=list)
+    traffic_series: Optional[TimeSeries] = None
+    energy_consumed: float = 0.0
+    mean_battery_fraction: float = 0.0
+    wall_clock_seconds: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def transmissions_per_minute(self) -> float:
+        """Hop transmissions normalised by simulated time."""
+        minutes = self.config.sim_time / 60.0
+        return self.summary.transmissions / minutes if minutes > 0 else 0.0
+
+    @property
+    def mean_relay_count(self) -> float:
+        """Time-averaged relay population (0 for non-RPCC runs)."""
+        if not self.relay_samples:
+            return 0.0
+        return sum(count for _, count in self.relay_samples) / len(self.relay_samples)
+
+
+class Simulation:
+    """A fully wired simulation, ready to :meth:`run`."""
+
+    def __init__(
+        self,
+        spec: str,
+        scenario: str,
+        config: SimulationConfig,
+        sim: Simulator,
+        network: Network,
+        hosts: Dict[int, MobileHost],
+        catalog: Catalog,
+        strategy: ConsistencyStrategy,
+        metrics: MetricsCollector,
+        update_workload: UpdateWorkload,
+        query_workload: QueryWorkload,
+        single_source_item: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.scenario = scenario
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.hosts = hosts
+        self.catalog = catalog
+        self.strategy = strategy
+        self.metrics = metrics
+        self.update_workload = update_workload
+        self.query_workload = query_workload
+        self.single_source_item = single_source_item
+        self._relay_samples: List[Tuple[float, int]] = []
+        self._traffic_series = TimeSeries("transmissions")
+        self._last_tx_total = 0
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run warm-up plus the measured window (``config.sim_time``).
+
+        Metrics are reset after ``config.warmup`` seconds so that the
+        relay-bootstrap transient does not pollute steady-state numbers.
+        """
+        measured = self.config.sim_time if until is None else float(until)
+        started = time.perf_counter()
+        self.strategy.start()
+        self.update_workload.start()
+        self.query_workload.start()
+        for host in self.hosts.values():
+            host.start_period_timer()
+            if host.switching is not None:
+                host.switching.start()
+        if isinstance(self.strategy, RPCCStrategy):
+            sampler = PeriodicTimer(self.sim, 60.0, self._sample_relays)
+            sampler.start()
+        traffic_sampler = PeriodicTimer(self.sim, 60.0, self._sample_traffic)
+        traffic_sampler.start()
+        if self.config.warmup > 0:
+            self.sim.run_until(self.config.warmup)
+            self.metrics.reset()
+            self._relay_samples.clear()
+        self.sim.run_until(self.config.warmup + measured)
+        elapsed = time.perf_counter() - started
+        energy = sum(host.battery.total_consumed for host in self.hosts.values())
+        fraction = sum(
+            host.battery.fraction for host in self.hosts.values()
+        ) / len(self.hosts)
+        return SimulationResult(
+            spec=self.spec,
+            scenario=self.scenario,
+            config=self.config,
+            summary=self.metrics.summary(),
+            total_queries=self.query_workload.total_queries,
+            total_updates=self.update_workload.total_updates,
+            relay_samples=list(self._relay_samples),
+            traffic_series=self._traffic_series,
+            energy_consumed=energy,
+            mean_battery_fraction=fraction,
+            wall_clock_seconds=elapsed,
+            events_processed=self.sim.events_processed,
+        )
+
+    def _sample_traffic(self) -> None:
+        """Record the per-minute transmission rate (a convergence series)."""
+        total = self.metrics.traffic.transmissions()
+        delta = total - self._last_tx_total
+        # A metrics reset at warm-up end makes the cumulative total drop;
+        # restart the delta baseline instead of recording a negative rate.
+        if delta < 0:
+            delta = total
+        self._last_tx_total = total
+        self._traffic_series.record(self.sim.now, float(delta))
+
+    def _sample_relays(self) -> None:
+        assert isinstance(self.strategy, RPCCStrategy)
+        if self.single_source_item is not None:
+            count = self.strategy.relay_count_for(self.single_source_item)
+        else:
+            count = self.strategy.relay_count()
+        self._relay_samples.append((self.sim.now, count))
+
+
+def build_simulation(
+    config: SimulationConfig,
+    spec: str,
+    scenario: str = "standard",
+) -> Simulation:
+    """Wire every substrate into a runnable simulation.
+
+    Parameters
+    ----------
+    config:
+        The full parameter set (Table 1 defaults via ``SimulationConfig()``).
+    spec:
+        One of :data:`STRATEGY_SPECS`.
+    scenario:
+        ``"standard"`` or ``"single_source"`` (Fig 9).
+    """
+    if scenario not in ("standard", "single_source"):
+        raise ConfigurationError(f"unknown scenario {scenario!r}")
+    strategy_name, mix = _parse_spec(spec)
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    metrics = MetricsCollector(delta=config.ttp)
+    router = CachingRouter() if config.routing == "cached" else ShortestPathRouter()
+    network = Network(
+        sim,
+        radio_range=config.radio_range,
+        link=LinkModel(),
+        traffic=metrics,
+        router=router,
+    )
+    terrain = Terrain(config.terrain_width, config.terrain_height)
+    grid = SubnetGrid(terrain, config.subnet_cell)
+    catalog = Catalog.one_item_per_host(range(config.n_peers), config.content_size)
+    directory = CacheDirectory()
+
+    stable_rng = streams.stream("stable-assignment")
+    stable_count = round(config.stable_fraction * config.n_peers)
+    stable_ids = set(stable_rng.sample(range(config.n_peers), stable_count))
+
+    battery_rng = streams.stream("battery")
+    hosts: Dict[int, MobileHost] = {}
+    for host_id in range(config.n_peers):
+        stable = host_id in stable_ids
+        if stable:
+            mobility = Stationary(terrain.random_point(streams.stream(f"pos/{host_id}")))
+        elif config.mobility == "walk":
+            mobility = RandomWalk(
+                terrain,
+                streams.stream(f"mobility/{host_id}"),
+                speed_min=config.speed_min,
+                speed_max=config.speed_max,
+            )
+        else:
+            mobility = RandomWaypoint(
+                terrain,
+                streams.stream(f"mobility/{host_id}"),
+                speed_min=config.speed_min,
+                speed_max=config.speed_max,
+                pause_time=config.pause_time,
+            )
+        initial = 100.0 if stable else battery_rng.uniform(40.0, 100.0)
+        host = MobileHost(
+            host_id,
+            sim,
+            mobility,
+            battery=Battery(capacity=100.0, initial=initial),
+            cache_capacity=config.cache_num,
+            directory=directory,
+            coefficient_tracker=CoefficientTracker(
+                phi=config.switch_interval, omega=config.omega
+            ),
+            subnet_tracker=SubnetTracker(grid, mobility),
+        )
+        host.attach_source(catalog.master(host_id))
+        if not stable:
+            host.switching = SwitchingProcess(
+                sim,
+                streams.stream(f"switch/{host_id}"),
+                host.set_online,
+                mean_online=config.mean_online,
+                mean_offline=config.mean_offline,
+            )
+        network.register(host)
+        hosts[host_id] = host
+
+    discovery = Discovery(catalog, directory)
+    context = StrategyContext(
+        network,
+        catalog,
+        discovery,
+        metrics,
+        delta=config.ttp,
+        fetch_timeout=config.fetch_timeout,
+        cache_on_read=config.cache_on_read,
+    )
+    strategy = _make_strategy(strategy_name, context, config)
+    for host in hosts.values():
+        host.agent = strategy.make_agent(host)
+
+    single_item: Optional[int] = None
+    stores = {host_id: host.store for host_id, host in hosts.items()}
+    if scenario == "single_source":
+        single_item = streams.stream("fig9-source").randrange(config.n_peers)
+        single_item_placement(catalog, stores, single_item)
+        update_hosts = [hosts[catalog.source_of(single_item)]]
+        restrict = [single_item]
+    else:
+        random_placement(
+            catalog, stores, config.cache_num, streams.stream("placement")
+        )
+        update_hosts = list(hosts.values())
+        restrict = None
+    # Pre-placed copies count as freshly validated for RPCC.
+    if isinstance(strategy, RPCCStrategy):
+        for host in hosts.values():
+            agent = strategy.agent_for(host.node_id)
+            for item_id in host.store.item_ids:
+                agent.cache_peer.renew_ttp(item_id)  # type: ignore[attr-defined]
+
+    update_workload = UpdateWorkload(
+        update_hosts, streams, mean_interval=config.update_interval
+    )
+    if config.zipf_theta > 0:
+        access: AccessPattern = ZipfAccess(
+            catalog.item_ids, theta=config.zipf_theta, seed=config.seed
+        )
+    else:
+        access = UniformAccess(catalog.item_ids)
+    query_workload = QueryWorkload(
+        hosts.values(),
+        streams,
+        strategy,
+        access,
+        mix,
+        mean_interval=config.query_interval,
+        restrict_to_items=restrict,
+    )
+    return Simulation(
+        spec=spec,
+        scenario=scenario,
+        config=config,
+        sim=sim,
+        network=network,
+        hosts=hosts,
+        catalog=catalog,
+        strategy=strategy,
+        metrics=metrics,
+        update_workload=update_workload,
+        query_workload=query_workload,
+        single_source_item=single_item,
+    )
+
+
+def _make_strategy(
+    name: str, context: StrategyContext, config: SimulationConfig
+) -> ConsistencyStrategy:
+    if name == "push":
+        return PushStrategy(context, ttn=config.ttn, ttl=config.ttl_broadcast)
+    if name == "pull":
+        return PullStrategy(
+            context, ttl=config.ttl_broadcast, poll_timeout=config.poll_timeout
+        )
+    if name == "rpcc":
+        rpcc_config = RPCCConfig(
+            ttl_invalidation=config.ttl_rpcc,
+            ttn=config.ttn,
+            ttr=config.ttr,
+            ttp=config.ttp,
+            poll_timeout=config.poll_timeout,
+            broadcast_ttl=config.ttl_broadcast,
+            thresholds=config.thresholds,
+        )
+        return RPCCStrategy(context, rpcc_config)
+    raise ConfigurationError(f"unknown strategy name {name!r}")
+
+
+def run_simulation(
+    config: SimulationConfig,
+    spec: str,
+    scenario: str = "standard",
+) -> SimulationResult:
+    """Convenience: build and run in one call."""
+    return build_simulation(config, spec, scenario).run()

@@ -1,0 +1,50 @@
+"""Extensions: the paper's Section 6 future-work directions plus ablations.
+
+* :mod:`repro.extensions.adaptive` — runtime-adaptive TTN/TTP (direction 1);
+* :mod:`repro.extensions.relay_control` — bounded relay population
+  (direction 2);
+* :mod:`repro.extensions.replica` — multi-writer replica consistency via
+  LWW anti-entropy gossip (direction 3);
+* :mod:`repro.extensions.selection_ablation` — random promotion instead of
+  the CAR/CS/CE criterion;
+* :mod:`repro.extensions.uir_push` — Cao'00-style updated invalidation
+  reports between IRs (cited in the paper's related work).
+"""
+
+from repro.extensions.adaptive import (
+    AdaptiveConfig,
+    AdaptiveRPCCAgent,
+    AdaptiveRPCCStrategy,
+)
+from repro.extensions.relay_control import (
+    ControlledConfig,
+    ControlledRPCCAgent,
+    ControlledRPCCStrategy,
+)
+from repro.extensions.replica import (
+    GossipReplication,
+    ReplicatedRegister,
+    WriteTag,
+)
+from repro.extensions.selection_ablation import (
+    RandomSelectionConfig,
+    RandomSelectionRPCCStrategy,
+)
+from repro.extensions.uir_push import UIRPushAgent, UIRPushStrategy, UIRReport
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveRPCCStrategy",
+    "AdaptiveRPCCAgent",
+    "ControlledConfig",
+    "ControlledRPCCStrategy",
+    "ControlledRPCCAgent",
+    "GossipReplication",
+    "ReplicatedRegister",
+    "WriteTag",
+    "RandomSelectionConfig",
+    "RandomSelectionRPCCStrategy",
+    "UIRPushStrategy",
+    "UIRPushAgent",
+    "UIRReport",
+]

@@ -1,0 +1,158 @@
+"""Adaptive push/pull frequency (the paper's future-work direction 1).
+
+Section 6: "both our RPCC and traditional simple push/pull strategies need
+to pre-set the push/pull frequency ... We plan to investigate how to
+change the push/pull frequency adaptively according to the runtime system
+conditions."
+
+Two adaptations, both multiplicative with clamped ranges:
+
+* **Source side** — the TTN interval stretches while the master copy is
+  quiet and shrinks while it is update-hot, so invalidation floods track
+  the real update rate instead of a fixed 2-minute drum beat.
+* **Cache-peer side** — the TTP window per item shrinks every time a poll
+  comes back ``POLL_ACK_B`` (the copy *was* stale: we trusted it too
+  long) and grows on ``POLL_ACK_A`` (we polled needlessly early).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.consistency.base import StrategyContext
+from repro.consistency.messages import PollAckA, PollAckB
+from repro.consistency.rpcc.cache_peer import CachePeerSide
+from repro.consistency.rpcc.config import RPCCConfig
+from repro.consistency.rpcc.protocol import RPCCAgent, RPCCStrategy
+from repro.consistency.rpcc.source import SourceSide
+from repro.errors import ConfigurationError
+from repro.peers.host import MobileHost
+
+__all__ = ["AdaptiveConfig", "AdaptiveRPCCStrategy", "AdaptiveRPCCAgent"]
+
+
+class AdaptiveConfig(RPCCConfig):
+    """RPCC configuration plus adaptation bounds.
+
+    Parameters (in addition to :class:`RPCCConfig`)
+    ----------
+    min_scale / max_scale:
+        Clamp for both the TTN and TTP multipliers.
+    grow / shrink:
+        Multiplicative step applied on quiet/hot evidence.
+    """
+
+    def __init__(
+        self,
+        min_scale: float = 0.25,
+        max_scale: float = 4.0,
+        grow: float = 1.25,
+        shrink: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not 0 < min_scale <= 1.0 <= max_scale:
+            raise ConfigurationError(
+                f"need min_scale <= 1 <= max_scale, got [{min_scale}, {max_scale}]"
+            )
+        if grow <= 1.0 or not 0 < shrink < 1.0:
+            raise ConfigurationError(
+                f"need grow > 1 and 0 < shrink < 1, got grow={grow}, shrink={shrink}"
+            )
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+
+    def clamp(self, scale: float) -> float:
+        """Keep an adaptation multiplier inside the configured range."""
+        return min(self.max_scale, max(self.min_scale, scale))
+
+
+class _AdaptiveSourceSide(SourceSide):
+    """Source side whose TTN interval tracks the observed update rate."""
+
+    def __init__(self, agent: "AdaptiveRPCCAgent", config: AdaptiveConfig) -> None:
+        super().__init__(agent, config)
+        self.adaptive = config
+        self._scale = 1.0
+        self._version_at_last_tick = 0
+
+    def _on_ttn(self) -> None:
+        master = self.agent.host.source_item
+        updates_this_interval = 0
+        if master is not None:
+            updates_this_interval = master.version - self._version_at_last_tick
+            self._version_at_last_tick = master.version
+        super()._on_ttn()
+        if updates_this_interval == 0:
+            self._scale = self.adaptive.clamp(self._scale * self.adaptive.grow)
+        elif updates_this_interval > 1:
+            self._scale = self.adaptive.clamp(self._scale * self.adaptive.shrink)
+        if self._timer is not None:
+            self._timer.interval = self.config.ttn * self._scale
+
+    @property
+    def current_interval(self) -> float:
+        """The interval the next invalidation will use (diagnostics)."""
+        return self.config.ttn * self._scale
+
+
+class _AdaptiveCachePeerSide(CachePeerSide):
+    """Cache peer whose TTP window per item learns from poll outcomes."""
+
+    def __init__(self, agent: "AdaptiveRPCCAgent", config: AdaptiveConfig) -> None:
+        super().__init__(agent, config)
+        self.adaptive = config
+        self._scale: Dict[int, float] = {}
+
+    def ttp_scale(self, item_id: int) -> float:
+        """Current TTP multiplier for ``item_id``."""
+        return self._scale.get(item_id, 1.0)
+
+    def renew_ttp(self, item_id: int) -> None:
+        timer = self._ttp.get(item_id)
+        if timer is None:
+            from repro.sim.timers import CountdownTimer
+
+            timer = CountdownTimer(self.agent.context.sim, self.config.ttp)
+            self._ttp[item_id] = timer
+        timer.renew(self.config.ttp * self.ttp_scale(item_id))
+
+    def on_poll_ack_a(self, message: PollAckA) -> None:
+        # Copy was still fresh: we can afford a longer trust window.
+        self._scale[message.item_id] = self.adaptive.clamp(
+            self.ttp_scale(message.item_id) * self.adaptive.grow
+        )
+        super().on_poll_ack_a(message)
+
+    def on_poll_ack_b(self, message: PollAckB) -> None:
+        # Copy had gone stale inside the window: trust less next time.
+        self._scale[message.item_id] = self.adaptive.clamp(
+            self.ttp_scale(message.item_id) * self.adaptive.shrink
+        )
+        super().on_poll_ack_b(message)
+
+
+class AdaptiveRPCCAgent(RPCCAgent):
+    """RPCC agent with the adaptive source and cache-peer sides."""
+
+    def __init__(self, strategy: "AdaptiveRPCCStrategy", host: MobileHost) -> None:
+        super().__init__(strategy, host)
+        assert isinstance(self.config, AdaptiveConfig)
+        self.source = _AdaptiveSourceSide(self, self.config)
+        self.cache_peer = _AdaptiveCachePeerSide(self, self.config)
+
+
+class AdaptiveRPCCStrategy(RPCCStrategy):
+    """RPCC with runtime-adaptive TTN and TTP (future-work direction 1)."""
+
+    name = "rpcc-adaptive"
+
+    def __init__(
+        self, context: StrategyContext, config: Optional[AdaptiveConfig] = None
+    ) -> None:
+        super().__init__(context, config if config is not None else AdaptiveConfig())
+
+    def make_agent(self, host: MobileHost) -> AdaptiveRPCCAgent:
+        return AdaptiveRPCCAgent(self, host)

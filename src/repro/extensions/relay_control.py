@@ -1,0 +1,72 @@
+"""Relay-population control (the paper's future-work direction 2).
+
+Section 6: "the number of relay peers is important to the performance of
+RPCC.  In the current strategy, the number of relay peers cannot be
+controlled."  Here the source host caps its relay table: an ``APPLY`` that
+would exceed ``max_relays`` is silently dropped, leaving the candidate to
+retry at a later switching period (and succeed once churn opens a slot).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.consistency.base import StrategyContext
+from repro.consistency.messages import Apply
+from repro.consistency.rpcc.config import RPCCConfig
+from repro.consistency.rpcc.protocol import RPCCAgent, RPCCStrategy
+from repro.consistency.rpcc.source import SourceSide
+from repro.errors import ConfigurationError
+from repro.peers.host import MobileHost
+
+__all__ = ["ControlledConfig", "ControlledRPCCStrategy", "ControlledRPCCAgent"]
+
+
+class ControlledConfig(RPCCConfig):
+    """RPCC configuration plus a relay-table cap."""
+
+    def __init__(self, max_relays: int = 3, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if max_relays < 1:
+            raise ConfigurationError(f"max_relays must be >= 1, got {max_relays!r}")
+        self.max_relays = int(max_relays)
+
+
+class _CappedSourceSide(SourceSide):
+    """Source side that refuses promotions beyond the configured cap."""
+
+    def __init__(self, agent: "ControlledRPCCAgent", config: ControlledConfig) -> None:
+        super().__init__(agent, config)
+        self.controlled = config
+
+    def handle_apply(self, message: Apply) -> None:
+        if (
+            message.sender not in self.relay_table
+            and len(self.relay_table) >= self.controlled.max_relays
+        ):
+            self.agent.context.metrics.bump("rpcc_apply_rejected_cap")
+            return
+        super().handle_apply(message)
+
+
+class ControlledRPCCAgent(RPCCAgent):
+    """RPCC agent whose source side enforces the relay cap."""
+
+    def __init__(self, strategy: "ControlledRPCCStrategy", host: MobileHost) -> None:
+        super().__init__(strategy, host)
+        assert isinstance(self.config, ControlledConfig)
+        self.source = _CappedSourceSide(self, self.config)
+
+
+class ControlledRPCCStrategy(RPCCStrategy):
+    """RPCC with a bounded relay population per item."""
+
+    name = "rpcc-controlled"
+
+    def __init__(
+        self, context: StrategyContext, config: Optional[ControlledConfig] = None
+    ) -> None:
+        super().__init__(context, config if config is not None else ControlledConfig())
+
+    def make_agent(self, host: MobileHost) -> ControlledRPCCAgent:
+        return ControlledRPCCAgent(self, host)

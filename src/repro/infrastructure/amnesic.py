@@ -1,0 +1,179 @@
+"""The Amnesic Terminals (AT) strategy of Barbara & Imielinski [Bar94].
+
+The second classical scheme from the paper's related work.  Unlike the
+Timestamp strategy, an AT report lists only the items updated since the
+*previous* report and carries no timestamps — smaller reports, but a
+client that missed even a single report can no longer trust anything:
+**any** gap in reception drops the whole cache, not just gaps longer
+than ``k * L``.  That is the "amnesia" the name refers to, and it makes
+the scheme even more disconnection-fragile than TS — executable here as
+the property tests show.
+
+Implementation shares the MSS-cell substrate and the client fetch path
+with :mod:`repro.infrastructure.timestamp_ir`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
+
+from repro.cache.item import CachedCopy, MasterCopy
+from repro.errors import ConfigurationError
+from repro.infrastructure.mss import CellClient, MSSCell
+from repro.infrastructure.timestamp_ir import CellFetch, CellFetchReply
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["AmnesicReport", "ATClient", "AmnesicScheme"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AmnesicReport(Message):
+    """``AT report = [sequence, {items updated since the last report}]``."""
+
+    DEFAULT_SIZE: ClassVar[int] = 48
+    sequence: int = 0
+    updated_items: Tuple[int, ...] = ()
+
+
+class ATClient:
+    """Client side of the AT scheme: cache + gap detection."""
+
+    def __init__(self, cell: MSSCell, client: CellClient, scheme: "AmnesicScheme") -> None:
+        self.cell = cell
+        self.client = client
+        self.scheme = scheme
+        self.cache: Dict[int, CachedCopy] = {}
+        self.last_sequence: Optional[int] = None
+        self._waiting: List[Tuple[int, Callable[[Optional[int]], None]]] = []
+        self._fetch_callbacks: Dict[int, List[Callable[[Optional[int]], None]]] = {}
+        self.cache_drops = 0
+        client.inbox = self.handle
+
+    def query(self, item_id: int, callback: Callable[[Optional[int]], None]) -> None:
+        """Park the query until the next report proves cache validity."""
+        self._waiting.append((item_id, callback))
+
+    def handle(self, message: Message) -> None:
+        if isinstance(message, AmnesicReport):
+            self._handle_report(message)
+        elif isinstance(message, CellFetchReply):
+            self._handle_fetch_reply(message)
+
+    def _handle_report(self, report: AmnesicReport) -> None:
+        missed_any = (
+            self.last_sequence is not None
+            and report.sequence != self.last_sequence + 1
+        )
+        first_contact = self.last_sequence is None
+        self.last_sequence = report.sequence
+        if (missed_any or first_contact) and self.cache:
+            # Amnesia: without an unbroken report stream nothing is safe.
+            self.cache.clear()
+            self.cache_drops += 1
+        else:
+            for item_id in report.updated_items:
+                self.cache.pop(item_id, None)
+        self._serve_waiting()
+
+    def _serve_waiting(self) -> None:
+        waiting, self._waiting = self._waiting, []
+        for item_id, callback in waiting:
+            copy = self.cache.get(item_id)
+            if copy is not None:
+                callback(copy.version)
+            else:
+                self._fetch(item_id, callback)
+
+    def _fetch(self, item_id: int, callback: Callable[[Optional[int]], None]) -> None:
+        self._fetch_callbacks.setdefault(item_id, []).append(callback)
+        sent = self.cell.uplink(
+            self.client.client_id,
+            CellFetch(sender=self.client.client_id, item_id=item_id),
+        )
+        if not sent:
+            for cb in self._fetch_callbacks.pop(item_id, []):
+                cb(None)
+
+    def _handle_fetch_reply(self, message: CellFetchReply) -> None:
+        self.cache[message.item_id] = CachedCopy(
+            message.item_id, message.version, message.content_size,
+            self.scheme.sim.now,
+        )
+        for callback in self._fetch_callbacks.pop(message.item_id, []):
+            callback(message.version)
+
+
+class AmnesicScheme:
+    """MSS side of the AT scheme plus client factory.
+
+    Parameters
+    ----------
+    sim / cell:
+        Substrate.
+    report_interval:
+        ``L`` — seconds between reports.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cell: MSSCell,
+        report_interval: float = 20.0,
+    ) -> None:
+        if report_interval <= 0:
+            raise ConfigurationError(
+                f"report_interval must be positive, got {report_interval!r}"
+            )
+        self.sim = sim
+        self.cell = cell
+        self.report_interval = float(report_interval)
+        self._sequence = 0
+        self._pending_updates: List[int] = []
+        self._timer = PeriodicTimer(sim, self.report_interval, self._broadcast_report)
+        self.clients: Dict[int, ATClient] = {}
+        cell.set_mss_handler(self._handle_uplink)
+        self.reports_sent = 0
+
+    def make_client(self, client: CellClient) -> ATClient:
+        """Attach the AT client logic to a cell client."""
+        at_client = ATClient(self.cell, client, self)
+        self.clients[client.client_id] = at_client
+        return at_client
+
+    def start(self) -> None:
+        """Begin periodic report broadcasting."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop report broadcasting."""
+        self._timer.stop()
+
+    def record_update(self, master: MasterCopy) -> None:
+        """Note that ``master`` just changed (call after ``update``)."""
+        self._pending_updates.append(master.item_id)
+
+    def _broadcast_report(self) -> None:
+        self._sequence += 1
+        updates = tuple(sorted(set(self._pending_updates)))
+        self._pending_updates.clear()
+        report = AmnesicReport(
+            sender=-1, sequence=self._sequence, updated_items=updates
+        )
+        self.reports_sent += 1
+        self.cell.broadcast(report)
+
+    def _handle_uplink(self, client_id: int, message: Message) -> None:
+        if isinstance(message, CellFetch):
+            master = self.cell.item(message.item_id)
+            self.cell.unicast_down(
+                client_id,
+                CellFetchReply(
+                    sender=-1,
+                    item_id=master.item_id,
+                    version=master.version,
+                    content_size=master.content_size,
+                ),
+            )

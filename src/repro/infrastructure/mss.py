@@ -1,0 +1,154 @@
+"""Infrastructure-based (single-cell) wireless model — the paper's Fig 1.
+
+Section 2 contrasts the MP2P setting with the classical model: a Mobile
+Support Station (MSS) holds all source data and reaches every client in
+*one hop* over a broadcast channel.  This module provides that substrate
+so the classical invalidation schemes of the related work (Barbara &
+Imielinski's Timestamp strategy, implemented in
+:mod:`repro.infrastructure.timestamp_ir`) can run and be contrasted with
+the MANET strategies — making the paper's "why those schemes do not
+transfer" argument executable.
+
+The cell abstracts the radio entirely: a broadcast reaches every
+*connected* client after one hop delay and costs one transmission; an
+uplink query costs one transmission each way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.item import MasterCopy
+from repro.errors import ConfigurationError, TopologyError
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+
+__all__ = ["CellClient", "MSSCell"]
+
+
+class CellClient:
+    """One mobile client camped on the cell."""
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+        self.connected = True
+        self.inbox: Callable[[Message], None] = lambda message: None
+        self.disconnected_at: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.connected else "down"
+        return f"CellClient({self.client_id}, {state})"
+
+
+class MSSCell:
+    """A one-hop broadcast cell around a Mobile Support Station.
+
+    Parameters
+    ----------
+    sim:
+        Event kernel.
+    hop_delay:
+        One-hop broadcast/uplink delay in seconds.
+    """
+
+    def __init__(self, sim: Simulator, hop_delay: float = 0.01) -> None:
+        if hop_delay < 0:
+            raise ConfigurationError(f"hop_delay must be >= 0, got {hop_delay!r}")
+        self.sim = sim
+        self.hop_delay = float(hop_delay)
+        self._clients: Dict[int, CellClient] = {}
+        self._database: Dict[int, MasterCopy] = {}
+        self._mss_inbox: Callable[[int, Message], None] = lambda c, m: None
+        self.downlink_transmissions = 0
+        self.uplink_transmissions = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register_client(self, client: CellClient) -> None:
+        """Attach a client to the cell."""
+        if client.client_id in self._clients:
+            raise TopologyError(f"client {client.client_id} already registered")
+        self._clients[client.client_id] = client
+
+    def client(self, client_id: int) -> CellClient:
+        """Look up a registered client."""
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise TopologyError(f"unknown client {client_id!r}") from None
+
+    @property
+    def clients(self) -> List[CellClient]:
+        """All registered clients."""
+        return list(self._clients.values())
+
+    def install_item(self, master: MasterCopy) -> None:
+        """Place a master copy in the MSS database."""
+        self._database[master.item_id] = master
+
+    def item(self, item_id: int) -> MasterCopy:
+        """The MSS's authoritative copy of ``item_id``."""
+        try:
+            return self._database[item_id]
+        except KeyError:
+            raise TopologyError(f"MSS has no item {item_id!r}") from None
+
+    @property
+    def item_ids(self) -> List[int]:
+        """All items hosted at the MSS."""
+        return list(self._database)
+
+    def set_mss_handler(self, handler: Callable[[int, Message], None]) -> None:
+        """Install the MSS-side uplink message handler."""
+        self._mss_inbox = handler
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def set_connected(self, client_id: int, connected: bool) -> None:
+        """Flip a client's radio (sleep/wake in the paper's terms)."""
+        client = self.client(client_id)
+        if client.connected == connected:
+            return
+        client.connected = connected
+        client.disconnected_at = None if connected else self.sim.now
+
+    # ------------------------------------------------------------------
+    # Channel primitives
+    # ------------------------------------------------------------------
+    def broadcast(self, message: Message) -> int:
+        """MSS downlink broadcast: one transmission, all connected hear it."""
+        self.downlink_transmissions += 1
+        delivered = 0
+        for client in self._clients.values():
+            if not client.connected:
+                continue
+            delivered += 1
+            self.sim.schedule(self.hop_delay, client.inbox, message)
+        return delivered
+
+    def unicast_down(self, client_id: int, message: Message) -> bool:
+        """MSS -> one client; fails silently when the client sleeps."""
+        client = self.client(client_id)
+        self.downlink_transmissions += 1
+        if not client.connected:
+            return False
+        self.sim.schedule(self.hop_delay, client.inbox, message)
+        return True
+
+    def uplink(self, client_id: int, message: Message) -> bool:
+        """Client -> MSS; only connected clients can transmit."""
+        client = self.client(client_id)
+        if not client.connected:
+            return False
+        self.uplink_transmissions += 1
+        self.sim.schedule(
+            self.hop_delay, self._mss_inbox, client_id, message
+        )
+        return True
+
+    @property
+    def total_transmissions(self) -> int:
+        """Downlink plus uplink transmissions."""
+        return self.downlink_transmissions + self.uplink_transmissions

@@ -1,0 +1,220 @@
+"""The Signatures (SIG) strategy of Barbara & Imielinski [Bar94].
+
+The third classical scheme from the paper's related work.  Instead of
+listing updated items, the MSS periodically broadcasts *combined
+signatures*: each signature hashes the versions of a pseudo-random subset
+of the database.  A client keeps its own belief about every item's
+version (tiny metadata, not content) and recomputes the same signatures
+locally; a mismatched signature marks all its member items *suspect*, and
+an item suspected by enough signatures is invalidated.
+
+The pay-off over TS/AT: the scheme works after **arbitrary** sleep — no
+report history is needed, so nothing forces a full cache drop — at the
+price of false positives (fresh items invalidated because they share
+signatures with stale ones).  Both properties are asserted in the tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
+
+from repro.cache.item import CachedCopy, MasterCopy
+from repro.errors import ConfigurationError
+from repro.infrastructure.mss import CellClient, MSSCell
+from repro.infrastructure.timestamp_ir import CellFetch, CellFetchReply
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["SignatureReport", "SIGClient", "SignatureScheme"]
+
+
+def _combine(versions: List[Tuple[int, int]]) -> int:
+    """Hash a sorted (item, version) list into one 64-bit signature."""
+    digest = hashlib.sha256(repr(sorted(versions)).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclasses.dataclass(frozen=True)
+class SignatureReport(Message):
+    """``SIG report = (signature values for the fixed group family)``."""
+
+    DEFAULT_SIZE: ClassVar[int] = 96
+    signatures: Tuple[int, ...] = ()
+
+
+class SIGClient:
+    """Client side of the SIG scheme: version beliefs + signature checks."""
+
+    def __init__(self, cell: MSSCell, client: CellClient, scheme: "SignatureScheme") -> None:
+        self.cell = cell
+        self.client = client
+        self.scheme = scheme
+        self.cache: Dict[int, CachedCopy] = {}
+        # The client's belief of every item's version (metadata only).
+        self.believed_versions: Dict[int, int] = {
+            item_id: 0 for item_id in cell.item_ids
+        }
+        self._waiting: List[Tuple[int, Callable[[Optional[int]], None]]] = []
+        self._fetch_callbacks: Dict[int, List[Callable[[Optional[int]], None]]] = {}
+        self.invalidations = 0
+        self.false_positives = 0
+        client.inbox = self.handle
+
+    def query(self, item_id: int, callback: Callable[[Optional[int]], None]) -> None:
+        """Park the query until the next signature report."""
+        self._waiting.append((item_id, callback))
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> None:
+        if isinstance(message, SignatureReport):
+            self._handle_report(message)
+        elif isinstance(message, CellFetchReply):
+            self._handle_fetch_reply(message)
+
+    def _handle_report(self, report: SignatureReport) -> None:
+        suspects: Dict[int, int] = {}
+        for group, remote_signature in zip(self.scheme.groups, report.signatures):
+            local = _combine(
+                [(item, self.believed_versions.get(item, 0)) for item in group]
+            )
+            if local != remote_signature:
+                for item in group:
+                    suspects[item] = suspects.get(item, 0) + 1
+        threshold = self.scheme.suspect_threshold
+        for item_id, votes in suspects.items():
+            if votes >= threshold and item_id in self.cache:
+                truly_stale = (
+                    self.cache[item_id].version
+                    < self.cell.item(item_id).version
+                )
+                if not truly_stale:
+                    self.false_positives += 1
+                del self.cache[item_id]
+                self.believed_versions[item_id] = 0  # unknown again
+                self.invalidations += 1
+        self._serve_waiting()
+
+    def _serve_waiting(self) -> None:
+        waiting, self._waiting = self._waiting, []
+        for item_id, callback in waiting:
+            copy = self.cache.get(item_id)
+            if copy is not None:
+                callback(copy.version)
+            else:
+                self._fetch(item_id, callback)
+
+    def _fetch(self, item_id: int, callback: Callable[[Optional[int]], None]) -> None:
+        self._fetch_callbacks.setdefault(item_id, []).append(callback)
+        sent = self.cell.uplink(
+            self.client.client_id,
+            CellFetch(sender=self.client.client_id, item_id=item_id),
+        )
+        if not sent:
+            for cb in self._fetch_callbacks.pop(item_id, []):
+                cb(None)
+
+    def _handle_fetch_reply(self, message: CellFetchReply) -> None:
+        self.cache[message.item_id] = CachedCopy(
+            message.item_id, message.version, message.content_size,
+            self.scheme.sim.now,
+        )
+        self.believed_versions[message.item_id] = message.version
+        for callback in self._fetch_callbacks.pop(message.item_id, []):
+            callback(message.version)
+
+
+class SignatureScheme:
+    """MSS side of the SIG scheme plus client factory.
+
+    Parameters
+    ----------
+    sim / cell:
+        Substrate.
+    report_interval:
+        Seconds between signature broadcasts.
+    group_count:
+        Number of combined signatures per report.
+    group_size:
+        Items hashed into each signature (drawn pseudo-randomly but
+        fixed for the run, shared by MSS and clients).
+    suspect_threshold:
+        Mismatching signatures needed before an item is invalidated.
+    seed:
+        Seed for the shared group family.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cell: MSSCell,
+        report_interval: float = 20.0,
+        group_count: int = 8,
+        group_size: int = 4,
+        suspect_threshold: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if report_interval <= 0:
+            raise ConfigurationError(
+                f"report_interval must be positive, got {report_interval!r}"
+            )
+        if group_count < 1 or group_size < 1:
+            raise ConfigurationError("group_count and group_size must be >= 1")
+        if suspect_threshold < 1:
+            raise ConfigurationError(
+                f"suspect_threshold must be >= 1, got {suspect_threshold!r}"
+            )
+        self.sim = sim
+        self.cell = cell
+        self.report_interval = float(report_interval)
+        self.suspect_threshold = int(suspect_threshold)
+        rng = random.Random(seed)
+        items = sorted(cell.item_ids)
+        size = min(group_size, len(items))
+        self.groups: List[Tuple[int, ...]] = [
+            tuple(sorted(rng.sample(items, size))) for _ in range(group_count)
+        ]
+        self._timer = PeriodicTimer(sim, self.report_interval, self._broadcast_report)
+        self.clients: Dict[int, SIGClient] = {}
+        cell.set_mss_handler(self._handle_uplink)
+        self.reports_sent = 0
+
+    def make_client(self, client: CellClient) -> SIGClient:
+        """Attach the SIG client logic to a cell client."""
+        sig_client = SIGClient(self.cell, client, self)
+        self.clients[client.client_id] = sig_client
+        return sig_client
+
+    def start(self) -> None:
+        """Begin periodic signature broadcasting."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop signature broadcasting."""
+        self._timer.stop()
+
+    def _broadcast_report(self) -> None:
+        signatures = tuple(
+            _combine([(item, self.cell.item(item).version) for item in group])
+            for group in self.groups
+        )
+        self.reports_sent += 1
+        self.cell.broadcast(SignatureReport(sender=-1, signatures=signatures))
+
+    def _handle_uplink(self, client_id: int, message: Message) -> None:
+        if isinstance(message, CellFetch):
+            master = self.cell.item(message.item_id)
+            self.cell.unicast_down(
+                client_id,
+                CellFetchReply(
+                    sender=-1,
+                    item_id=master.item_id,
+                    version=master.version,
+                    content_size=master.content_size,
+                ),
+            )

@@ -1,0 +1,22 @@
+"""Metrics: traffic counters, query latency, staleness auditing."""
+
+from repro.metrics.collector import MetricsCollector, MetricsSummary
+from repro.metrics.counters import MessageCounters, TypeCount
+from repro.metrics.latency import LatencyRecorder, QueryRecord
+from repro.metrics.report import format_summary, format_table
+from repro.metrics.staleness import ReadAudit, StalenessTracker
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "MetricsCollector",
+    "MetricsSummary",
+    "MessageCounters",
+    "TypeCount",
+    "LatencyRecorder",
+    "QueryRecord",
+    "StalenessTracker",
+    "ReadAudit",
+    "TimeSeries",
+    "format_summary",
+    "format_table",
+]

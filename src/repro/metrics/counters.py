@@ -1,0 +1,82 @@
+"""Traffic accounting: per-message-type counters.
+
+The paper's "network traffic" figures count messages; because every hop of
+a multi-hop unicast and every rebroadcast of a flood occupies the channel,
+we count *per-hop transmissions* (and also keep logical message counts and
+bytes).  The network layer reports into this module through the
+:class:`~repro.net.network.TrafficObserver` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.message import Message
+
+__all__ = ["TypeCount", "MessageCounters"]
+
+
+@dataclass
+class TypeCount:
+    """Accumulated traffic for one message type."""
+
+    messages: int = 0
+    transmissions: int = 0
+    bytes: int = 0
+
+    def add(self, transmissions: int, size_bytes: int) -> None:
+        """Fold one logical send into the counters."""
+        self.messages += 1
+        self.transmissions += transmissions
+        self.bytes += transmissions * size_bytes
+
+
+class MessageCounters:
+    """Per-type traffic accumulator (implements ``TrafficObserver``)."""
+
+    def __init__(self) -> None:
+        self._by_type: Dict[str, TypeCount] = {}
+
+    def record_transmissions(self, message: Message, transmissions: int) -> None:
+        """Network-layer hook: one logical send caused ``transmissions`` hops."""
+        entry = self._by_type.get(message.type_name)
+        if entry is None:
+            entry = TypeCount()
+            self._by_type[message.type_name] = entry
+        entry.add(transmissions, message.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def by_type(self) -> Dict[str, TypeCount]:
+        """Copy of the per-type counters."""
+        return dict(self._by_type)
+
+    def types(self) -> List[str]:
+        """Message type names seen so far."""
+        return sorted(self._by_type)
+
+    def messages(self, *type_names: str) -> int:
+        """Logical message count, optionally restricted to ``type_names``."""
+        return self._sum("messages", type_names)
+
+    def transmissions(self, *type_names: str) -> int:
+        """Per-hop transmission count, optionally restricted to types."""
+        return self._sum("transmissions", type_names)
+
+    def total_bytes(self, *type_names: str) -> int:
+        """Bytes on air, optionally restricted to types."""
+        return self._sum("bytes", type_names)
+
+    def _sum(self, attribute: str, type_names: tuple) -> int:
+        if type_names:
+            entries = [
+                self._by_type[name] for name in type_names if name in self._by_type
+            ]
+        else:
+            entries = list(self._by_type.values())
+        return sum(getattr(entry, attribute) for entry in entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageCounters(tx={self.transmissions()}, types={len(self._by_type)})"

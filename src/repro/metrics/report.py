@@ -1,0 +1,71 @@
+"""Plain-text report formatting for metrics summaries and sweep tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.metrics.collector import MetricsSummary
+
+__all__ = ["format_summary", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with right-aligned numeric-ish columns."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_summary(summary: MetricsSummary, title: str = "run summary") -> str:
+    """Render one run's summary as a readable block."""
+    rows = [
+        ("transmissions (hop count)", summary.transmissions),
+        ("logical messages", summary.messages),
+        ("bytes on air", summary.bytes_on_air),
+        ("queries issued", summary.queries_issued),
+        ("queries answered", summary.queries_answered),
+        ("queries unanswered", summary.queries_unanswered),
+        ("mean latency (s)", summary.mean_latency),
+        ("mean hit latency (s)", summary.mean_hit_latency),
+        ("p95 latency (s)", summary.p95_latency),
+        ("local answer ratio", summary.local_answer_ratio),
+        ("stale read ratio", summary.stale_ratio),
+        ("consistency violations", summary.violation_ratio),
+        ("mean staleness age (s)", summary.mean_staleness_age),
+    ]
+    body = format_table(("metric", "value"), rows, title=title)
+    if summary.transmissions_by_type:
+        type_rows = sorted(
+            summary.transmissions_by_type.items(), key=lambda kv: -kv[1]
+        )
+        body += "\n\n" + format_table(
+            ("message type", "transmissions"), type_rows, title="traffic by type"
+        )
+    return body

@@ -1,0 +1,137 @@
+"""Consistency auditing: how stale was each served read?
+
+Section 3 defines the three consistency levels in terms of the *time* by
+which a read may lag the master copy (eqs 3.2.1-3.2.3).  To audit reads we
+keep, per item, the instant each version was *superseded*; the staleness
+age of serving version ``v`` at time ``t`` is then::
+
+    age = t - superseded_at(v)     (0 if v is still current)
+
+* a **strong** read is violated when ``age > 0`` (any stale version);
+* a **delta** read is violated when ``age > delta``;
+* a **weak** read is never violated in the single-writer model — versions
+  are monotone, so every cached value was correct at some past instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["ReadAudit", "StalenessTracker"]
+
+
+@dataclass
+class ReadAudit:
+    """Outcome of auditing one served read."""
+
+    item_id: int
+    level: str
+    served_version: int
+    current_version: int
+    staleness_age: float
+    violated: bool
+
+    @property
+    def version_lag(self) -> int:
+        """How many versions behind the master the read was."""
+        return self.current_version - self.served_version
+
+
+class StalenessTracker:
+    """Audits served reads against the ground-truth update history."""
+
+    def __init__(self, delta: float = 240.0) -> None:
+        self.delta = float(delta)
+        # item -> {version: time at which it was superseded}
+        self._superseded: Dict[int, Dict[int, float]] = {}
+        self._current: Dict[int, int] = {}
+        self._audits: List[ReadAudit] = []
+
+    # ------------------------------------------------------------------
+    # Ground truth feed
+    # ------------------------------------------------------------------
+    def record_update(self, item_id: int, new_version: int, now: float) -> None:
+        """Master copy of ``item_id`` advanced to ``new_version`` at ``now``."""
+        previous = self._current.get(item_id, new_version - 1)
+        self._superseded.setdefault(item_id, {})[previous] = now
+        self._current[item_id] = new_version
+
+    def current_version(self, item_id: int) -> int:
+        """Latest version this tracker has seen for ``item_id``."""
+        return self._current.get(item_id, 0)
+
+    # ------------------------------------------------------------------
+    # Read auditing
+    # ------------------------------------------------------------------
+    def record_read(
+        self,
+        item_id: int,
+        served_version: int,
+        now: float,
+        level: str,
+        delta: Optional[float] = None,
+    ) -> ReadAudit:
+        """Audit one served read and accumulate it."""
+        current = self._current.get(item_id, 0)
+        if served_version >= current:
+            age = 0.0
+        else:
+            superseded_at = self._superseded.get(item_id, {}).get(served_version)
+            if superseded_at is None:
+                # Version predates tracking; treat as stale since t=0.
+                age = now
+            else:
+                age = max(0.0, now - superseded_at)
+        bound = self.delta if delta is None else float(delta)
+        if level == "strong":
+            violated = age > 0.0
+        elif level == "delta":
+            violated = age > bound
+        else:  # weak — any previous correct value is acceptable
+            violated = False
+        audit = ReadAudit(item_id, level, served_version, current, age, violated)
+        self._audits.append(audit)
+        return audit
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def reads(self) -> int:
+        """Number of audited reads."""
+        return len(self._audits)
+
+    def stale_reads(self, level: Optional[str] = None) -> int:
+        """Reads that returned a non-current version."""
+        return sum(1 for audit in self._filtered(level) if audit.staleness_age > 0)
+
+    def violations(self, level: Optional[str] = None) -> int:
+        """Reads that violated their requested consistency level."""
+        return sum(1 for audit in self._filtered(level) if audit.violated)
+
+    def stale_ratio(self, level: Optional[str] = None) -> float:
+        """Fraction of reads returning stale data."""
+        audits = self._filtered(level)
+        if not audits:
+            return 0.0
+        return sum(1 for audit in audits if audit.staleness_age > 0) / len(audits)
+
+    def violation_ratio(self, level: Optional[str] = None) -> float:
+        """Fraction of reads violating their consistency level."""
+        audits = self._filtered(level)
+        if not audits:
+            return 0.0
+        return sum(1 for audit in audits if audit.violated) / len(audits)
+
+    def mean_staleness_age(self, level: Optional[str] = None) -> float:
+        """Mean staleness age over all audited reads (seconds)."""
+        audits = self._filtered(level)
+        if not audits:
+            return 0.0
+        return sum(audit.staleness_age for audit in audits) / len(audits)
+
+    def _filtered(self, level: Optional[str]) -> List[ReadAudit]:
+        if level is None:
+            return self._audits
+        return [audit for audit in self._audits if audit.level == level]

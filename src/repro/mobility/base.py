@@ -1,0 +1,35 @@
+"""Mobility model interface.
+
+A mobility model is a pure function of time: ``position(t)`` returns where
+the node is at simulation time ``t``.  Models are *analytic* — they do not
+depend on the event loop — which keeps the network layer free to sample
+positions at arbitrary instants (e.g. exactly when a flood is forwarded).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.mobility.terrain import Point
+
+__all__ = ["MobilityModel"]
+
+
+class MobilityModel(abc.ABC):
+    """Abstract trajectory of one node."""
+
+    @abc.abstractmethod
+    def position(self, time: float) -> Point:
+        """Return the node position at simulation time ``time`` (seconds)."""
+
+    def speed_at(self, time: float, epsilon: float = 0.5) -> float:
+        """Approximate instantaneous speed (m/s) by central differencing.
+
+        Subclasses with an analytic speed may override this.
+        """
+        earlier = self.position(max(0.0, time - epsilon))
+        later = self.position(time + epsilon)
+        span = (time + epsilon) - max(0.0, time - epsilon)
+        if span <= 0:
+            return 0.0
+        return earlier.distance_to(later) / span

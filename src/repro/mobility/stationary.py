@@ -1,0 +1,63 @@
+"""Stationary and scripted mobility models.
+
+These are used by tests, examples and the Fig 9 single-source scenario
+where deterministic geometry makes results easy to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.mobility.terrain import Point
+
+__all__ = ["Stationary", "PiecewiseLinear"]
+
+
+class Stationary(MobilityModel):
+    """A node that never moves."""
+
+    def __init__(self, point: Point) -> None:
+        self.point = point
+
+    def position(self, time: float) -> Point:
+        return self.point
+
+    def speed_at(self, time: float, epsilon: float = 0.5) -> float:
+        return 0.0
+
+
+class PiecewiseLinear(MobilityModel):
+    """Scripted trajectory through timestamped waypoints.
+
+    Parameters
+    ----------
+    waypoints:
+        Sequence of ``(time, point)`` pairs with strictly increasing times.
+        Before the first waypoint the node sits at the first point; after
+        the last it sits at the last point; in between it moves linearly.
+    """
+
+    def __init__(self, waypoints: Sequence[Tuple[float, Point]]) -> None:
+        if not waypoints:
+            raise ConfigurationError("PiecewiseLinear needs at least one waypoint")
+        times = [t for t, _ in waypoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError("waypoint times must be strictly increasing")
+        self._times: List[float] = list(times)
+        self._points: List[Point] = [p for _, p in waypoints]
+
+    def position(self, time: float) -> Point:
+        times, points = self._times, self._points
+        if time <= times[0]:
+            return points[0]
+        if time >= times[-1]:
+            return points[-1]
+        # Walk to the surrounding pair (few waypoints; linear scan is fine).
+        for index in range(len(times) - 1):
+            if times[index] <= time <= times[index + 1]:
+                span = times[index + 1] - times[index]
+                fraction = (time - times[index]) / span
+                return points[index].interpolate(points[index + 1], fraction)
+        return points[-1]  # unreachable, kept for safety

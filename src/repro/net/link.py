@@ -1,0 +1,68 @@
+"""Wireless link model: per-hop delay and stochastic loss.
+
+The paper's evaluation treats processing time as negligible and reports
+traffic in message counts, so the defaults here are a simple fixed-latency,
+2 Mbps (IEEE 802.11b-era) link with no loss.  Loss is available for the
+failure-injection tests and robustness ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinkModel"]
+
+
+class LinkModel:
+    """Per-hop transmission characteristics.
+
+    Parameters
+    ----------
+    latency:
+        Fixed per-hop propagation + MAC access delay in seconds.
+    bandwidth_bps:
+        Link bandwidth in bits per second; serialisation delay is
+        ``size_bytes * 8 / bandwidth_bps``.
+    loss_rate:
+        Independent probability that a single hop transmission is lost.
+    rng:
+        Random stream used for loss draws; required when ``loss_rate > 0``.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.005,
+        bandwidth_bps: float = 2_000_000.0,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        if loss_rate > 0 and rng is None:
+            raise ConfigurationError("a loss_rate > 0 requires an rng")
+        self.latency = float(latency)
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.loss_rate = float(loss_rate)
+        self._rng = rng
+
+    def hop_delay(self, size_bytes: int) -> float:
+        """Delay for one hop carrying ``size_bytes`` of payload."""
+        return self.latency + (size_bytes * 8.0) / self.bandwidth_bps
+
+    def path_delay(self, size_bytes: int, hops: int) -> float:
+        """End-to-end delay over ``hops`` store-and-forward hops."""
+        return self.hop_delay(size_bytes) * max(0, hops)
+
+    def hop_is_lost(self) -> bool:
+        """Sample whether a single hop transmission is dropped."""
+        if self.loss_rate <= 0.0:
+            return False
+        assert self._rng is not None  # guaranteed by constructor
+        return self._rng.random() < self.loss_rate

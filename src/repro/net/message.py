@@ -1,0 +1,53 @@
+"""Base message type for everything sent over the simulated network.
+
+Concrete protocol messages (the paper's Fig 6(a) set, queries, data
+transfers) subclass :class:`Message` as frozen dataclasses, adding their own
+fields.  Every message carries a size in bytes so that link transmission
+delay and byte-level traffic accounting work uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import ClassVar
+
+__all__ = ["Message", "next_message_id"]
+
+_MESSAGE_IDS = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Return a process-wide unique message identifier."""
+    return next(_MESSAGE_IDS)
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """Immutable network message.
+
+    Attributes
+    ----------
+    sender:
+        Node identifier of the originator.
+    size_bytes:
+        Serialized size used for transmission delay and traffic accounting.
+        Subclasses override :attr:`DEFAULT_SIZE` to set their typical size.
+    msg_id:
+        Unique identifier, assigned automatically.
+    """
+
+    DEFAULT_SIZE: ClassVar[int] = 64
+
+    sender: int
+    size_bytes: int = -1  # placeholder replaced in __post_init__
+    msg_id: int = dataclasses.field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            object.__setattr__(self, "size_bytes", self.DEFAULT_SIZE)
+
+    @property
+    def type_name(self) -> str:
+        """Short name used as the traffic-accounting key."""
+        return type(self).__name__

@@ -1,0 +1,231 @@
+"""The simulated multi-hop wireless network.
+
+This module glues the topology, link and node layers into the two
+primitives every consistency strategy in the paper uses:
+
+* :meth:`Network.unicast` — multi-hop delivery along a shortest path
+  (the substitute for DSR routing, see DESIGN.md);
+* :meth:`Network.flood` — TTL-limited flooding, used for ``INVALIDATION``
+  and ``POLL`` broadcasts.
+
+Traffic accounting counts *per-hop transmissions*: a unicast over 3 hops
+costs 3 transmissions, a flood costs one transmission per forwarding node.
+That is the quantity the paper's "network traffic" figures integrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
+
+from repro.errors import RoutingError, TopologyError
+from repro.mobility.terrain import Point
+from repro.net.link import LinkModel
+from repro.net.message import Message
+from repro.net.node import NetworkNode
+from repro.net.routing import Router, ShortestPathRouter
+from repro.net.topology import TopologyService, TopologySnapshot
+from repro.sim.engine import Simulator
+
+__all__ = ["Network", "TrafficObserver"]
+
+
+class TrafficObserver(Protocol):
+    """Sink for per-hop transmission accounting."""
+
+    def record_transmissions(self, message: Message, transmissions: int) -> None:
+        """Record that ``message`` caused ``transmissions`` hop transmissions."""
+
+
+class _NullTraffic:
+    """Default observer that discards all accounting."""
+
+    def record_transmissions(self, message: Message, transmissions: int) -> None:
+        return None
+
+
+class Network:
+    """Multi-hop wireless network over a dynamic disc-model topology.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator (clock + scheduling).
+    radio_range:
+        Disc-model communication range in metres (``C_Range`` in Table 1).
+    link:
+        Per-hop delay/loss model; a lossless 2 Mbps default when omitted.
+    traffic:
+        Observer receiving per-hop transmission counts; optional.
+    topology_quantum:
+        Seconds for which a computed topology snapshot is reused.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio_range: float = 250.0,
+        link: Optional[LinkModel] = None,
+        traffic: Optional[TrafficObserver] = None,
+        topology_quantum: float = 1.0,
+        router: Optional[Router] = None,
+    ) -> None:
+        self.sim = sim
+        self.link = link if link is not None else LinkModel()
+        self.router: Router = router if router is not None else ShortestPathRouter()
+        self.traffic: TrafficObserver = traffic if traffic is not None else _NullTraffic()
+        self._nodes: Dict[int, NetworkNode] = {}
+        self.topology = TopologyService(
+            clock=lambda: sim.now,
+            node_states=self._node_states,
+            radio_range=radio_range,
+            quantum=topology_quantum,
+        )
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_undeliverable = 0
+
+    # ------------------------------------------------------------------
+    # Node registry
+    # ------------------------------------------------------------------
+    def register(self, node: NetworkNode) -> None:
+        """Add ``node`` to the network.  Node ids must be unique."""
+        if node.node_id in self._nodes:
+            raise TopologyError(f"node id {node.node_id!r} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> NetworkNode:
+        """Look up a registered node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id!r}") from None
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All registered node ids, in registration order."""
+        return list(self._nodes)
+
+    def _node_states(self) -> Iterable[Tuple[int, Point, bool]]:
+        for node_id, node in self._nodes.items():
+            yield node_id, node.current_position(), node.online
+
+    def snapshot(self) -> TopologySnapshot:
+        """Connectivity graph at the current instant."""
+        return self.topology.current()
+
+    # ------------------------------------------------------------------
+    # Unicast
+    # ------------------------------------------------------------------
+    def unicast(self, source: int, target: int, message: Message) -> bool:
+        """Send ``message`` from ``source`` to ``target`` along a shortest path.
+
+        Returns ``True`` when a route exists and delivery was scheduled
+        (delivery can still fail if the target goes offline in flight or a
+        hop is lost).  Returns ``False`` when the nodes are partitioned or
+        either endpoint is offline.
+        """
+        self.messages_sent += 1
+        sender = self.node(source)
+        if not sender.online:
+            self.messages_undeliverable += 1
+            return False
+        snapshot = self.snapshot()
+        if source not in snapshot or target not in snapshot:
+            self.messages_undeliverable += 1
+            return False
+        path = self.router.find_route(snapshot, source, target, self.sim.now)
+        if path is None:
+            self.messages_undeliverable += 1
+            return False
+        hops = len(path) - 1
+        if hops == 0:
+            # Local delivery: no radio transmission involved.
+            self.sim.schedule(0.0, self._deliver, target, message)
+            return True
+        transmissions = 0
+        for hop_index in range(hops):
+            transmissions += 1
+            self.node(path[hop_index]).on_transmit(message)
+            self.node(path[hop_index + 1]).on_receive(message)
+            if self.link.hop_is_lost():
+                self.traffic.record_transmissions(message, transmissions)
+                self.messages_undeliverable += 1
+                return False
+        self.traffic.record_transmissions(message, transmissions)
+        delay = self.link.path_delay(message.size_bytes, hops)
+        self.sim.schedule(delay, self._deliver, target, message)
+        return True
+
+    def route_hops(self, source: int, target: int) -> Optional[int]:
+        """Hop count of the current shortest route, or ``None`` if none."""
+        snapshot = self.snapshot()
+        if source not in snapshot or target not in snapshot:
+            return None
+        return snapshot.hop_distance(source, target)
+
+    # ------------------------------------------------------------------
+    # Flooding
+    # ------------------------------------------------------------------
+    def flood(self, source: int, message: Message, ttl: int) -> int:
+        """TTL-limited flood of ``message`` from ``source``.
+
+        Every online node within ``ttl`` hops receives the message after a
+        depth-proportional delay.  Each node that receives the flood with
+        remaining TTL rebroadcasts once; the transmission count is therefore
+        ``1 (source) + |nodes at depth 1 .. ttl-1|``.
+
+        Returns the number of nodes that will receive the message.
+        """
+        if ttl < 0:
+            raise RoutingError(f"ttl must be >= 0, got {ttl!r}")
+        self.messages_sent += 1
+        sender = self.node(source)
+        if not sender.online or ttl == 0:
+            if ttl == 0 and sender.online:
+                # A TTL of 0 never leaves the sender: one wasted transmission.
+                sender.on_transmit(message)
+                self.traffic.record_transmissions(message, 1)
+            else:
+                self.messages_undeliverable += 1
+            return 0
+        snapshot = self.snapshot()
+        if source not in snapshot:
+            self.messages_undeliverable += 1
+            return 0
+        levels = snapshot.bfs_levels(source, max_depth=ttl)
+        transmissions = 0
+        delivered = 0
+        hop_delay = self.link.hop_delay(message.size_bytes)
+        for node_id, depth in levels.items():
+            node = self.node(node_id)
+            if depth == 0:
+                transmissions += 1
+                node.on_transmit(message)
+                continue
+            node.on_receive(message)
+            if depth < ttl:
+                transmissions += 1
+                node.on_transmit(message)
+            delivered += 1
+            self.sim.schedule(depth * hop_delay, self._deliver, node_id, message)
+        self.traffic.record_transmissions(message, transmissions)
+        return delivered
+
+    def flood_reach(self, source: int, ttl: int) -> List[int]:
+        """Ids of nodes a flood from ``source`` with ``ttl`` would reach now."""
+        snapshot = self.snapshot()
+        if source not in snapshot:
+            return []
+        levels = snapshot.bfs_levels(source, max_depth=ttl)
+        return [node_id for node_id, depth in levels.items() if depth > 0]
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, target: int, message: Message) -> None:
+        node = self._nodes.get(target)
+        if node is None or not node.online:
+            self.messages_undeliverable += 1
+            return
+        self.messages_delivered += 1
+        node.deliver(message)

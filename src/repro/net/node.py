@@ -1,0 +1,44 @@
+"""Interface that every network participant implements.
+
+The network layer is deliberately ignorant of caching and consistency: it
+only needs each node's identity, position, online status, and an inbox.
+:class:`~repro.peers.host.MobileHost` implements this interface; tests use
+small stand-ins.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.mobility.terrain import Point
+from repro.net.message import Message
+
+__all__ = ["NetworkNode"]
+
+
+class NetworkNode(abc.ABC):
+    """A node addressable by the simulated network."""
+
+    @property
+    @abc.abstractmethod
+    def node_id(self) -> int:
+        """Unique node identifier."""
+
+    @property
+    @abc.abstractmethod
+    def online(self) -> bool:
+        """``True`` while the node can send, receive and forward."""
+
+    @abc.abstractmethod
+    def current_position(self) -> Point:
+        """The node's position at the current simulation time."""
+
+    @abc.abstractmethod
+    def deliver(self, message: Message) -> None:
+        """Handle a message that arrived at this node."""
+
+    def on_transmit(self, message: Message) -> None:
+        """Hook fired when this node (re)transmits a message (energy cost)."""
+
+    def on_receive(self, message: Message) -> None:
+        """Hook fired when this node receives a transmission (energy cost)."""

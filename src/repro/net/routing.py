@@ -1,0 +1,99 @@
+"""Routing policies for unicast delivery.
+
+The network substitutes DSR [Joh96] with shortest-path routing (see
+DESIGN.md).  Two policies implement that substitution:
+
+* :class:`ShortestPathRouter` — recompute a BFS path per send; simplest,
+  always hop-optimal, the default.
+* :class:`CachingRouter` — DSR-flavoured: keep discovered routes in a
+  cache and reuse them while every link still exists, falling back to a
+  fresh discovery when the route broke or aged out.  Reused routes may be
+  slightly longer than optimal, exactly like real DSR route caches, and
+  the hit/invalidation counters quantify how much a cache would help.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.topology import TopologySnapshot
+
+__all__ = ["Router", "ShortestPathRouter", "CachingRouter"]
+
+
+class Router(abc.ABC):
+    """Chooses the node sequence a unicast will traverse."""
+
+    @abc.abstractmethod
+    def find_route(
+        self, snapshot: TopologySnapshot, source: int, target: int, now: float
+    ) -> Optional[List[int]]:
+        """Return a route ``[source, ..., target]`` or ``None``."""
+
+
+class ShortestPathRouter(Router):
+    """Hop-optimal BFS route, recomputed per send."""
+
+    def find_route(
+        self, snapshot: TopologySnapshot, source: int, target: int, now: float
+    ) -> Optional[List[int]]:
+        return snapshot.shortest_path(source, target)
+
+
+class CachingRouter(Router):
+    """Route cache with link-liveness validation and ageing.
+
+    Parameters
+    ----------
+    route_ttl:
+        Seconds a cached route may be reused before a fresh discovery,
+        even if all its links still exist.
+    """
+
+    def __init__(self, route_ttl: float = 30.0) -> None:
+        self.route_ttl = float(route_ttl)
+        self._cache: Dict[Tuple[int, int], Tuple[float, List[int]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def find_route(
+        self, snapshot: TopologySnapshot, source: int, target: int, now: float
+    ) -> Optional[List[int]]:
+        key = (source, target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            cached_at, route = cached
+            if now - cached_at <= self.route_ttl and self._route_alive(
+                snapshot, route
+            ):
+                self.hits += 1
+                return list(route)
+            del self._cache[key]
+            self.invalidations += 1
+        self.misses += 1
+        route = snapshot.shortest_path(source, target)
+        if route is not None and len(route) > 1:
+            self._cache[key] = (now, list(route))
+            # Routes are symmetric under the disc model: prime the reverse.
+            self._cache[(target, source)] = (now, list(reversed(route)))
+        return route
+
+    @staticmethod
+    def _route_alive(snapshot: TopologySnapshot, route: List[int]) -> bool:
+        if any(node not in snapshot for node in route):
+            return False
+        for hop_a, hop_b in zip(route, route[1:]):
+            if hop_b not in snapshot.neighbors(hop_a):
+                return False
+        return True
+
+    @property
+    def cached_routes(self) -> int:
+        """Number of routes currently cached."""
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop every cached route."""
+        self._cache.clear()

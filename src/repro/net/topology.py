@@ -1,0 +1,215 @@
+"""Dynamic connectivity graph under the unit-disc radio model.
+
+Two online nodes are neighbours when their Euclidean distance is at most
+the communication range (250 m in Table 1).  Because nodes move, the
+topology is a function of time; :class:`TopologyService` samples node
+positions on demand and caches the resulting :class:`TopologySnapshot` for
+a short quantum so that bursts of sends at (nearly) the same instant reuse
+one graph.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.mobility.terrain import Point
+
+__all__ = ["TopologySnapshot", "TopologyService"]
+
+
+class TopologySnapshot:
+    """Immutable connectivity graph at one instant.
+
+    Parameters
+    ----------
+    positions:
+        Mapping of *online* node id to position.  Offline nodes simply do
+        not appear: they can neither send, receive, nor forward.
+    radio_range:
+        Disc-model communication range in metres.
+    """
+
+    def __init__(self, positions: Dict[int, Point], radio_range: float) -> None:
+        self.positions = dict(positions)
+        self.radio_range = float(radio_range)
+        self._adjacency: Dict[int, List[int]] = {node: [] for node in self.positions}
+        self._build_adjacency()
+
+    def _build_adjacency(self) -> None:
+        nodes = list(self.positions.items())
+        limit_sq = self.radio_range * self.radio_range
+        for index, (node_a, pos_a) in enumerate(nodes):
+            for node_b, pos_b in nodes[index + 1:]:
+                dx = pos_a.x - pos_b.x
+                dy = pos_a.y - pos_b.y
+                if dx * dx + dy * dy <= limit_sq:
+                    self._adjacency[node_a].append(node_b)
+                    self._adjacency[node_b].append(node_a)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Set[int]:
+        """Identifiers of the online nodes in this snapshot."""
+        return set(self.positions)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.positions
+
+    def neighbors(self, node: int) -> List[int]:
+        """Online one-hop neighbours of ``node``."""
+        try:
+            return list(self._adjacency[node])
+        except KeyError:
+            raise TopologyError(f"node {node!r} is not online in this snapshot") from None
+
+    def degree(self, node: int) -> int:
+        """Number of one-hop neighbours of ``node``."""
+        return len(self.neighbors(node))
+
+    def shortest_path(self, source: int, target: int) -> Optional[List[int]]:
+        """Hop-minimal path from ``source`` to ``target`` (inclusive).
+
+        Returns ``None`` when the nodes are partitioned, ``[source]`` when
+        ``source == target``.
+        """
+        if source not in self._adjacency:
+            raise TopologyError(f"source node {source!r} is not online")
+        if target not in self._adjacency:
+            return None
+        if source == target:
+            return [source]
+        parents: Dict[int, int] = {source: source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor in parents:
+                    continue
+                parents[neighbor] = current
+                if neighbor == target:
+                    return self._walk_back(parents, source, target)
+                queue.append(neighbor)
+        return None
+
+    @staticmethod
+    def _walk_back(parents: Dict[int, int], source: int, target: int) -> List[int]:
+        path = [target]
+        node = target
+        while node != source:
+            node = parents[node]
+            path.append(node)
+        path.reverse()
+        return path
+
+    def hop_distance(self, source: int, target: int) -> Optional[int]:
+        """Number of hops on a shortest path, or ``None`` if unreachable."""
+        path = self.shortest_path(source, target)
+        if path is None:
+            return None
+        return len(path) - 1
+
+    def bfs_levels(self, source: int, max_depth: Optional[int] = None) -> Dict[int, int]:
+        """Hop distance from ``source`` for every node within ``max_depth``.
+
+        The source itself appears with depth 0.  This drives TTL-limited
+        flooding: nodes at depth ``d <= TTL`` hear the flood.
+        """
+        if source not in self._adjacency:
+            raise TopologyError(f"source node {source!r} is not online")
+        levels: Dict[int, int] = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            depth = levels[current]
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for neighbor in self._adjacency[current]:
+                if neighbor not in levels:
+                    levels[neighbor] = depth + 1
+                    queue.append(neighbor)
+        return levels
+
+    def connected_components(self) -> List[Set[int]]:
+        """Partition of the online nodes into connected components."""
+        remaining = set(self._adjacency)
+        components: List[Set[int]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = set(self.bfs_levels(seed))
+            components.append(component)
+            remaining -= component
+        return components
+
+    def is_connected(self) -> bool:
+        """``True`` when all online nodes form a single component."""
+        if not self._adjacency:
+            return True
+        return len(self.connected_components()) == 1
+
+    def edge_count(self) -> int:
+        """Number of undirected radio links in the snapshot."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+
+class TopologyService:
+    """Samples node state into cached :class:`TopologySnapshot` objects.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulation time.
+    node_states:
+        Callable returning the *current* iterable of ``(node_id, position,
+        online)`` triples.  The network layer supplies this from its node
+        registry.
+    radio_range:
+        Disc-model communication range in metres.
+    quantum:
+        Snapshots are reused for this many seconds.  With 20 m/s peak node
+        speed, a 1 s quantum bounds position error by 20 m — well under the
+        250 m radio range.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        node_states: Callable[[], Iterable[Tuple[int, Point, bool]]],
+        radio_range: float,
+        quantum: float = 1.0,
+    ) -> None:
+        if radio_range <= 0:
+            raise TopologyError(f"radio_range must be positive, got {radio_range!r}")
+        if quantum <= 0:
+            raise TopologyError(f"quantum must be positive, got {quantum!r}")
+        self._clock = clock
+        self._node_states = node_states
+        self.radio_range = float(radio_range)
+        self.quantum = float(quantum)
+        self._cached: Optional[TopologySnapshot] = None
+        self._cached_bucket: Optional[int] = None
+        self.snapshots_built = 0
+
+    def current(self) -> TopologySnapshot:
+        """Return the snapshot for the current time bucket."""
+        bucket = int(math.floor(self._clock() / self.quantum))
+        if self._cached is not None and bucket == self._cached_bucket:
+            return self._cached
+        positions = {
+            node_id: position
+            for node_id, position, online in self._node_states()
+            if online
+        }
+        self._cached = TopologySnapshot(positions, self.radio_range)
+        self._cached_bucket = bucket
+        self.snapshots_built += 1
+        return self._cached
+
+    def invalidate(self) -> None:
+        """Drop the cached snapshot (call after abrupt online/offline flips)."""
+        self._cached = None
+        self._cached_bucket = None

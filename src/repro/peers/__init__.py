@@ -1,0 +1,12 @@
+"""Peer model: mobile hosts, selection coefficients, switching."""
+
+from repro.peers.coefficients import CoefficientTracker, SelectionThresholds
+from repro.peers.host import MobileHost
+from repro.peers.switching import SwitchingProcess
+
+__all__ = [
+    "MobileHost",
+    "CoefficientTracker",
+    "SelectionThresholds",
+    "SwitchingProcess",
+]

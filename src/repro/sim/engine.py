@@ -1,0 +1,214 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module is the foundation every other subsystem builds on.  It provides
+a classic event-heap simulator:
+
+* :class:`Simulator` owns the virtual clock and the pending-event heap.
+* :class:`EventHandle` is returned by every ``schedule`` call and allows the
+  caller to cancel the event before it fires.
+
+The kernel is deliberately minimal and fully deterministic: two runs with
+the same seed and the same schedule order produce identical event orderings
+because ties in event time are broken by a monotonically increasing
+sequence number.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> handle = sim.schedule(5.0, fired.append, "a")
+>>> _ = sim.schedule(1.0, fired.append, "b")
+>>> sim.run()
+>>> fired
+['b', 'a']
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires.
+
+    Instances are created exclusively by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; user code only cancels or inspects them.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns ``True`` if the event was pending and is now cancelled,
+        ``False`` if it had already fired or was already cancelled.
+        """
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """``True`` while the event is still waiting to fire."""
+        return not (self.fired or self.cancelled)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator with a virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (seconds).  Defaults to 0.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time):
+            raise SimulationError(f"start_time must be finite, got {start_time!r}")
+        self._now = float(start_time)
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting on the heap (including cancelled)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time:.6f} before current time t={self._now:.6f}"
+            )
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        event = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        Cancelled events are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event heap drains (or ``max_events`` fire).
+
+        Returns the number of events processed by this call.
+        """
+        return self._run_loop(until=None, max_events=max_events)
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run every event with timestamp ``<= time`` then set the clock to ``time``.
+
+        Returns the number of events processed by this call.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run until t={time:.6f}: clock already at t={self._now:.6f}"
+            )
+        processed = self._run_loop(until=time, max_events=max_events)
+        if self._now < time:
+            self._now = time
+        return processed
+
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> int:
+        if self._running:
+            raise SimulationError("simulator is not re-entrant: already running")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                head.fired = True
+                self._events_processed += 1
+                head.callback(*head.args)
+                processed += 1
+        finally:
+            self._running = False
+        return processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

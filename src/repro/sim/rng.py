@@ -1,0 +1,78 @@
+"""Named deterministic random streams.
+
+Every source of randomness in a simulation draws from a *named stream*
+derived from a single root seed.  This gives two essential properties:
+
+* **Reproducibility** — the same root seed always produces the same run.
+* **Isolation** — adding a new random consumer (e.g. a new protocol timer)
+  does not perturb the draws seen by existing consumers, because each
+  consumer owns its own generator.
+
+Example
+-------
+>>> streams = RandomStreams(seed=42)
+>>> a = streams.stream("mobility/node-3")
+>>> b = streams.stream("workload/query/node-3")
+>>> a is streams.stream("mobility/node-3")
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomStreams", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``root_seed`` and a stream ``name``.
+
+    Uses SHA-256 so that textually similar names yield uncorrelated seeds.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """Factory and registry of named :class:`random.Random` instances.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Every named stream is derived deterministically from it.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this registry was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the generator for ``name``, creating it on first use."""
+        generator = self._streams.get(name)
+        if generator is None:
+            generator = random.Random(derive_seed(self._seed, name))
+            self._streams[name] = generator
+        return generator
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Create a child registry whose root seed is derived from ``name``.
+
+        Useful to hand a subsystem its own namespace of streams.
+        """
+        return RandomStreams(derive_seed(self._seed, name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStreams(seed={self._seed}, streams={len(self._streams)})"

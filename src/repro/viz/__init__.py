@@ -1,0 +1,5 @@
+"""Terminal visualisation helpers."""
+
+from repro.viz.ascii import ascii_chart
+
+__all__ = ["ascii_chart"]

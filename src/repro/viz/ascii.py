@@ -1,0 +1,107 @@
+"""ASCII charts for terminal-friendly figure reproduction.
+
+The paper's figures are line charts (Fig 8 on a log scale).  For a
+reproduction that lives in a terminal, an ASCII chart beside the numeric
+table makes the *shape* — who wins, where curves cross — visible at a
+glance without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox*+#@%&"
+
+
+def _transform(value: float, log_scale: bool) -> float:
+    if not log_scale:
+        return value
+    return math.log10(max(value, 1e-9))
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, List[float]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y series over shared x values as ASCII art.
+
+    Each series gets a one-character marker (``o``, ``x``, ``*``, ...);
+    a legend maps markers back to names.  ``log_y`` plots log10(y), the
+    right mode for the paper's Fig 8.
+    """
+    if not x_values or not series:
+        raise ConfigurationError("ascii_chart needs x values and at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart must be at least 16x4 characters")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points for {len(x_values)} xs"
+            )
+
+    ys = [
+        _transform(value, log_y)
+        for values in series.values()
+        for value in values
+    ]
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, values):
+            col = round((x - x_min) / x_span * (width - 1))
+            fraction = (_transform(y, log_y) - y_min) / (y_max - y_min)
+            row = (height - 1) - round(fraction * (height - 1))
+            grid[row][col] = marker
+
+    def format_tick(transformed: float) -> str:
+        value = 10 ** transformed if log_y else transformed
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+
+    top_tick = format_tick(y_max)
+    bottom_tick = format_tick(y_min)
+    margin = max(len(top_tick), len(bottom_tick)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_tick.rjust(margin - 1)
+        elif row_index == height - 1:
+            label = bottom_tick.rjust(margin - 1)
+        else:
+            label = " " * (margin - 1)
+        lines.append(f"{label}|{''.join(row)}")
+    axis = " " * (margin - 1) + "+" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_min:g}"
+    x_right = f"{x_max:g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(" " * margin + x_left + " " * max(1, padding) + x_right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    scale = " (log y)" if log_y else ""
+    lines.append(f"{' ' * margin}{legend}{scale}"
+                 + (f"   y: {y_label}" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Item-access patterns: which data item does a query ask for?
+
+The paper does not specify an access distribution; uniform access over all
+foreign items is the neutral default.  A Zipf pattern is provided because
+skewed popularity is the regime where cooperative caching shines (and it
+powers one of the example scenarios).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import itertools
+import random
+from typing import List, Sequence
+
+from repro.errors import WorkloadError
+
+__all__ = ["AccessPattern", "UniformAccess", "ZipfAccess"]
+
+
+class AccessPattern(abc.ABC):
+    """Chooses the target item of a query."""
+
+    @abc.abstractmethod
+    def choose(self, rng: random.Random, requester: int) -> int:
+        """Pick an item id for a query issued at host ``requester``."""
+
+
+class UniformAccess(AccessPattern):
+    """Uniform choice over all items except the requester's own."""
+
+    def __init__(self, item_ids: Sequence[int]) -> None:
+        if not item_ids:
+            raise WorkloadError("UniformAccess needs at least one item")
+        self._items: List[int] = sorted(item_ids)
+
+    def choose(self, rng: random.Random, requester: int) -> int:
+        while True:
+            item = self._items[rng.randrange(len(self._items))]
+            if item != requester or len(self._items) == 1:
+                return item
+
+
+class ZipfAccess(AccessPattern):
+    """Zipf-distributed popularity with exponent ``theta``.
+
+    Item rank order is a deterministic shuffle of the id space so that
+    popular items are scattered over the terrain rather than clustered on
+    low ids.
+    """
+
+    def __init__(self, item_ids: Sequence[int], theta: float = 0.8, seed: int = 0) -> None:
+        if not item_ids:
+            raise WorkloadError("ZipfAccess needs at least one item")
+        if theta < 0:
+            raise WorkloadError(f"theta must be >= 0, got {theta!r}")
+        self._items = sorted(item_ids)
+        shuffler = random.Random(seed)
+        shuffler.shuffle(self._items)
+        weights = [1.0 / (rank ** theta) for rank in range(1, len(self._items) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = list(
+            itertools.accumulate(weight / total for weight in weights)
+        )
+
+    def choose(self, rng: random.Random, requester: int) -> int:
+        for _ in range(16):
+            point = rng.random()
+            index = bisect.bisect_left(self._cumulative, point)
+            index = min(index, len(self._items) - 1)
+            item = self._items[index]
+            if item != requester or len(self._items) == 1:
+                return item
+        # Pathological tiny catalogs: fall back to any non-own item.
+        for item in self._items:
+            if item != requester:
+                return item
+        return self._items[0]

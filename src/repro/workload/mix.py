@@ -1,0 +1,62 @@
+"""Consistency-level mixes: which guarantee does each query request?
+
+Fig 7 evaluates RPCC under pure strong (SC), delta (DC) and weak (WC)
+workloads plus a hybrid (HY) where "requests with three different
+consistency requirements come with the same probability".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence, Tuple
+
+from repro.consistency.levels import ConsistencyLevel, parse_level
+from repro.errors import WorkloadError
+
+__all__ = ["LevelMix"]
+
+
+class LevelMix:
+    """Weighted random choice of a consistency level per query."""
+
+    def __init__(self, weights: Dict[ConsistencyLevel, float]) -> None:
+        if not weights:
+            raise WorkloadError("LevelMix needs at least one level")
+        total = sum(weights.values())
+        if total <= 0 or any(weight < 0 for weight in weights.values()):
+            raise WorkloadError(f"weights must be non-negative with a positive sum: {weights!r}")
+        self._levels: Tuple[ConsistencyLevel, ...] = tuple(weights)
+        self._cumulative = []
+        running = 0.0
+        for level in self._levels:
+            running += weights[level] / total
+            self._cumulative.append(running)
+
+    @classmethod
+    def pure(cls, level: str) -> "LevelMix":
+        """A mix that always requests one level (``"sc"``/``"dc"``/``"wc"``)."""
+        return cls({parse_level(level): 1.0})
+
+    @classmethod
+    def hybrid(cls) -> "LevelMix":
+        """The paper's HY workload: SC/DC/WC with equal probability."""
+        return cls(
+            {
+                ConsistencyLevel.STRONG: 1.0,
+                ConsistencyLevel.DELTA: 1.0,
+                ConsistencyLevel.WEAK: 1.0,
+            }
+        )
+
+    def choose(self, rng: random.Random) -> ConsistencyLevel:
+        """Draw a level for one query."""
+        point = rng.random()
+        for level, bound in zip(self._levels, self._cumulative):
+            if point <= bound:
+                return level
+        return self._levels[-1]
+
+    @property
+    def levels(self) -> Sequence[ConsistencyLevel]:
+        """Levels with non-zero probability."""
+        return self._levels

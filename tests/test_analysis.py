@@ -1,0 +1,80 @@
+"""Tests for the push/pull traffic-split analysis (Fig 7c's discussion)."""
+
+import pytest
+
+from repro.experiments.analysis import TrafficSplit, rpcc_traffic_split
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_simulation
+from repro.metrics.collector import MetricsSummary
+
+
+def summary_with(types):
+    return MetricsSummary(
+        transmissions=sum(types.values()),
+        messages=0,
+        bytes_on_air=0,
+        queries_issued=0,
+        queries_answered=0,
+        queries_unanswered=0,
+        mean_latency=0.0,
+        mean_hit_latency=0.0,
+        p95_latency=0.0,
+        local_answer_ratio=0.0,
+        stale_ratio=0.0,
+        violation_ratio=0.0,
+        mean_staleness_age=0.0,
+        transmissions_by_type=types,
+        counters={},
+    )
+
+
+class TestTrafficSplit:
+    def test_classification(self):
+        split = rpcc_traffic_split(summary_with({
+            "Invalidation": 100,
+            "Update": 20,
+            "Poll": 50,
+            "PollAckA": 10,
+            "PollHold": 5,
+            "QueryRequest": 30,
+            "QueryReply": 30,
+            "Mystery": 7,
+        }))
+        assert split.push == 120
+        assert split.pull == 65
+        assert split.query == 60
+        assert split.other == 7
+        assert split.total == 252
+
+    def test_shares_sum_to_one(self):
+        split = TrafficSplit(push=30, pull=70, query=0, other=0)
+        assert split.push_share == pytest.approx(0.3)
+        assert split.pull_share == pytest.approx(0.7)
+
+    def test_empty_protocol_traffic(self):
+        split = TrafficSplit(push=0, pull=0, query=5, other=0)
+        assert split.push_share == 0.0
+        assert split.pull_share == 0.0
+
+
+class TestFig7cClaim:
+    """Paper: more cache peers -> pull share falls, push share rises."""
+
+    def run_split(self, cache_num):
+        config = SimulationConfig(
+            n_peers=24, sim_time=600.0, warmup=300.0, seed=4,
+            cache_num=cache_num, terrain_width=1000.0, terrain_height=1000.0,
+        )
+        result = run_simulation(config, "rpcc-sc")
+        return rpcc_traffic_split(result.summary)
+
+    def test_push_share_grows_with_cache_size(self):
+        small = self.run_split(cache_num=2)
+        large = self.run_split(cache_num=12)
+        assert large.push_share > small.push_share
+        assert large.pull_share < small.pull_share
+
+    def test_split_accounts_for_everything(self):
+        split = self.run_split(cache_num=6)
+        assert split.other == 0  # stock RPCC emits no unclassified traffic
+        assert split.total > 0

@@ -1,0 +1,199 @@
+"""Unit tests for the catalog, directory, discovery and placement."""
+
+import random
+
+import pytest
+
+from repro.cache.catalog import Catalog
+from repro.cache.directory import CacheDirectory
+from repro.cache.discovery import Discovery
+from repro.cache.item import MasterCopy
+from repro.cache.placement import random_placement, single_item_placement
+from repro.cache.store import CacheStore
+from repro.errors import ConfigurationError, UnknownItemError
+from repro.mobility.terrain import Point
+from repro.net.topology import TopologySnapshot
+
+
+class TestCatalog:
+    def test_one_item_per_host(self):
+        catalog = Catalog.one_item_per_host(range(5))
+        assert len(catalog) == 5
+        assert catalog.source_of(3) == 3
+
+    def test_duplicate_item_rejected(self):
+        catalog = Catalog()
+        catalog.add(MasterCopy(1, 1))
+        with pytest.raises(UnknownItemError):
+            catalog.add(MasterCopy(1, 2))
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(UnknownItemError):
+            Catalog().master(42)
+
+    def test_current_version_tracks_updates(self):
+        catalog = Catalog.one_item_per_host(range(2))
+        catalog.master(0).update(now=1.0)
+        assert catalog.current_version(0) == 1
+        assert catalog.current_version(1) == 0
+
+    def test_items_sourced_by(self):
+        catalog = Catalog()
+        catalog.add(MasterCopy(10, 1))
+        catalog.add(MasterCopy(11, 1))
+        catalog.add(MasterCopy(12, 2))
+        assert sorted(catalog.items_sourced_by(1)) == [10, 11]
+
+    def test_contains(self):
+        catalog = Catalog.one_item_per_host([0])
+        assert 0 in catalog
+        assert 1 not in catalog
+
+
+class TestCacheDirectory:
+    def test_add_and_holders(self):
+        directory = CacheDirectory()
+        directory.add(1, 10)
+        directory.add(1, 11)
+        assert directory.holders(1) == {10, 11}
+        assert directory.holder_count(1) == 2
+
+    def test_remove(self):
+        directory = CacheDirectory()
+        directory.add(1, 10)
+        directory.remove(1, 10)
+        assert directory.holders(1) == set()
+
+    def test_remove_unknown_is_noop(self):
+        CacheDirectory().remove(1, 10)  # must not raise
+
+    def test_bind_store_keeps_directory_current(self):
+        directory = CacheDirectory()
+        on_insert, on_evict = directory.bind_store(7)
+        store = CacheStore(1, on_insert=on_insert, on_evict=on_evict)
+        from repro.cache.item import CachedCopy
+
+        store.put(CachedCopy(1, 0, 100, 0.0))
+        assert directory.holders(1) == {7}
+        store.put(CachedCopy(2, 0, 100, 1.0))  # evicts item 1
+        assert directory.holders(1) == set()
+        assert directory.holders(2) == {7}
+
+    def test_items_cached_anywhere(self):
+        directory = CacheDirectory()
+        directory.add(1, 10)
+        directory.add(2, 10)
+        assert sorted(directory.items_cached_anywhere()) == [1, 2]
+
+
+def snapshot_line(count, spacing=100.0, radio_range=150.0):
+    return TopologySnapshot(
+        {i: Point(i * spacing, 0.0) for i in range(count)}, radio_range
+    )
+
+
+class TestDiscovery:
+    def build(self, holders):
+        catalog = Catalog.one_item_per_host(range(5))
+        directory = CacheDirectory()
+        for node in holders:
+            directory.add(3, node)
+        return Discovery(catalog, directory)
+
+    def test_source_always_candidate(self):
+        discovery = self.build(holders=[])
+        assert discovery.candidate_holders(3) == {3}
+
+    def test_nearest_holder_by_hops(self):
+        discovery = self.build(holders=[1])
+        snap = snapshot_line(5)
+        # Node 0 asks for item 3: holder 1 is 1 hop away, source 3 is 3.
+        assert discovery.nearest_holder(snap, 0, 3) == 1
+
+    def test_requester_holding_wins(self):
+        discovery = self.build(holders=[0])
+        snap = snapshot_line(5)
+        assert discovery.nearest_holder(snap, 0, 3) == 0
+
+    def test_exclusion(self):
+        discovery = self.build(holders=[1])
+        snap = snapshot_line(5)
+        assert discovery.nearest_holder(snap, 0, 3, exclude=[1]) == 3
+
+    def test_unreachable_returns_none(self):
+        discovery = self.build(holders=[])
+        snap = TopologySnapshot(
+            {0: Point(0, 0), 3: Point(5000, 0)}, radio_range=150.0
+        )
+        assert discovery.nearest_holder(snap, 0, 3) is None
+
+    def test_offline_requester_returns_none(self):
+        discovery = self.build(holders=[1])
+        snap = snapshot_line(5)
+        assert discovery.nearest_holder(snap, 99, 3) is None
+
+    def test_nearest_among(self):
+        discovery = self.build(holders=[])
+        snap = snapshot_line(5)
+        assert discovery.nearest_among(snap, 0, [2, 4]) == 2
+
+    def test_nearest_among_max_hops(self):
+        discovery = self.build(holders=[])
+        snap = snapshot_line(5)
+        assert discovery.nearest_among(snap, 0, [4], max_hops=2) is None
+
+    def test_deterministic_tie_break(self):
+        discovery = self.build(holders=[])
+        snap = TopologySnapshot(
+            {0: Point(0, 0), 1: Point(100, 0), 2: Point(-100, 0)},
+            radio_range=150.0,
+        )
+        assert discovery.nearest_among(snap, 0, [1, 2]) == 1  # lowest id wins
+
+
+class TestPlacement:
+    def make_stores(self, count, capacity=10):
+        return {i: CacheStore(capacity) for i in range(count)}
+
+    def test_random_placement_fills_caches(self):
+        catalog = Catalog.one_item_per_host(range(20))
+        stores = self.make_stores(20, capacity=5)
+        assignment = random_placement(catalog, stores, 5, random.Random(1))
+        for host_id, items in assignment.items():
+            assert len(items) == 5
+            assert len(set(items)) == 5
+            assert host_id not in items  # never caches own item
+            for item in items:
+                assert item in stores[host_id]
+
+    def test_random_placement_capped_by_catalog(self):
+        catalog = Catalog.one_item_per_host(range(3))
+        stores = self.make_stores(3, capacity=10)
+        assignment = random_placement(catalog, stores, 10, random.Random(1))
+        assert all(len(items) == 2 for items in assignment.values())
+
+    def test_random_placement_validates_cache_num(self):
+        catalog = Catalog.one_item_per_host(range(3))
+        with pytest.raises(ConfigurationError):
+            random_placement(catalog, self.make_stores(3), 0, random.Random(1))
+
+    def test_random_placement_deterministic(self):
+        catalog = Catalog.one_item_per_host(range(10))
+        a = random_placement(catalog, self.make_stores(10), 3, random.Random(5))
+        b = random_placement(catalog, self.make_stores(10), 3, random.Random(5))
+        assert a == b
+
+    def test_single_item_placement(self):
+        catalog = Catalog.one_item_per_host(range(4))
+        stores = self.make_stores(4, capacity=1)
+        holders = single_item_placement(catalog, stores, item_id=2)
+        assert holders == [0, 1, 3]
+        assert all(2 in stores[h] for h in holders)
+        assert 2 not in stores[2]
+
+    def test_placement_copies_carry_master_version(self):
+        catalog = Catalog.one_item_per_host(range(3))
+        catalog.master(1).update(now=1.0)
+        stores = self.make_stores(3, capacity=2)
+        single_item_placement(catalog, stores, item_id=1)
+        assert stores[0].peek(1).version == 1

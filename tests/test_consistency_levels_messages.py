@@ -1,0 +1,101 @@
+"""Unit tests for consistency levels and the protocol message set."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel, parse_level
+from repro.consistency.messages import (
+    CONTROL_SIZE,
+    Apply,
+    FetchReply,
+    Invalidation,
+    Poll,
+    PollAckA,
+    PollAckB,
+    PollHold,
+    PullReply,
+    QueryReply,
+    QueryRequest,
+    SendNew,
+    Update,
+    next_fetch_id,
+    next_poll_id,
+    next_request_id,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLevels:
+    def test_labels(self):
+        assert ConsistencyLevel.STRONG.label == "strong"
+        assert ConsistencyLevel.DELTA.label == "delta"
+        assert ConsistencyLevel.WEAK.label == "weak"
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("strong", ConsistencyLevel.STRONG),
+            ("SC", ConsistencyLevel.STRONG),
+            ("delta", ConsistencyLevel.DELTA),
+            ("dc", ConsistencyLevel.DELTA),
+            (" weak ", ConsistencyLevel.WEAK),
+            ("WC", ConsistencyLevel.WEAK),
+        ],
+    )
+    def test_parse_aliases(self, alias, expected):
+        assert parse_level(alias) is expected
+
+    def test_parse_passthrough(self):
+        assert parse_level(ConsistencyLevel.DELTA) is ConsistencyLevel.DELTA
+
+    def test_parse_unknown(self):
+        with pytest.raises(ConfigurationError):
+            parse_level("eventual")
+
+    def test_str(self):
+        assert str(ConsistencyLevel.STRONG) == "strong"
+
+
+class TestMessageSizes:
+    def test_control_messages_are_small(self):
+        for msg in (
+            Invalidation(sender=1, item_id=2, version=3),
+            Apply(sender=1, item_id=2),
+            Poll(sender=1, item_id=2, version=3, poll_id=4),
+            PollAckA(sender=1, item_id=2, version=3, poll_id=4),
+            PollHold(sender=1, item_id=2, poll_id=4),
+            QueryRequest(sender=1, item_id=2, request_id=3),
+        ):
+            assert msg.size_bytes == CONTROL_SIZE
+
+    def test_content_messages_add_payload(self):
+        for msg in (
+            Update(sender=1, item_id=2, version=3, content_size=1024),
+            SendNew(sender=1, item_id=2, version=3, content_size=1024),
+            PollAckB(sender=1, item_id=2, version=3, poll_id=4, content_size=1024),
+            QueryReply(sender=1, item_id=2, version=3, request_id=4, content_size=1024),
+            FetchReply(sender=1, item_id=2, version=3, fetch_id=4, content_size=1024),
+        ):
+            assert msg.size_bytes == CONTROL_SIZE + 1024
+
+    def test_pull_reply_size_depends_on_freshness(self):
+        fresh = PullReply(sender=1, item_id=2, version=3, poll_id=4,
+                          up_to_date=True, content_size=1024)
+        stale = PullReply(sender=1, item_id=2, version=3, poll_id=4,
+                          up_to_date=False, content_size=1024)
+        assert fresh.size_bytes == CONTROL_SIZE
+        assert stale.size_bytes == CONTROL_SIZE + 1024
+
+    def test_type_names(self):
+        assert Invalidation(sender=1).type_name == "Invalidation"
+        assert PollAckB(sender=1).type_name == "PollAckB"
+
+
+class TestIdGenerators:
+    def test_poll_ids_increase(self):
+        assert next_poll_id() < next_poll_id()
+
+    def test_fetch_ids_increase(self):
+        assert next_fetch_id() < next_fetch_id()
+
+    def test_request_ids_increase(self):
+        assert next_request_id() < next_request_id()

@@ -1,0 +1,223 @@
+"""Tests for the experiment harness: Table-1 config, runner, figure sweeps.
+
+Simulation-driving tests use small worlds (12 peers, a few minutes) so
+the suite stays fast while still exercising every strategy end to end.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import TABLE1_ROWS, SimulationConfig
+from repro.experiments.figures.base import FigureData, extract_series, run_axis_sweep
+from repro.experiments.runner import (
+    STRATEGY_SPECS,
+    build_simulation,
+    run_simulation,
+)
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        n_peers=12,
+        sim_time=300.0,
+        warmup=0.0,
+        seed=11,
+        terrain_width=800.0,
+        terrain_height=800.0,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestSimulationConfig:
+    def test_table1_defaults(self):
+        config = SimulationConfig()
+        assert config.n_peers == 50
+        assert config.cache_num == 10
+        assert config.sim_time == 5 * 3600.0
+        assert config.update_interval == 120.0
+        assert config.query_interval == 20.0
+        assert config.ttl_broadcast == 8
+        assert config.ttl_rpcc == 3
+        assert config.ttn == 120.0
+        assert config.ttr == 90.0
+        assert config.ttp == 240.0
+        assert config.switch_interval == 300.0
+
+    def test_table1_rows_complete(self):
+        names = [row[0] for row in SimulationConfig().table1_rows()]
+        assert names == TABLE1_ROWS
+
+    def test_with_overrides_returns_copy(self):
+        base = SimulationConfig()
+        other = base.with_overrides(cache_num=5)
+        assert other.cache_num == 5
+        assert base.cache_num == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_peers": 0},
+            {"cache_num": 0},
+            {"sim_time": -1.0},
+            {"ttl_broadcast": 0},
+            {"stable_fraction": 1.5},
+            {"speed_min": 0.0},
+            {"warmup": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)
+
+
+class TestBuildSimulation:
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_simulation(tiny_config(), "gossip")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_simulation(tiny_config(), "push", scenario="weird")
+
+    def test_hosts_and_catalog_sized(self):
+        simulation = build_simulation(tiny_config(), "push")
+        assert len(simulation.hosts) == 12
+        assert len(simulation.catalog) == 12
+        assert all(h.source_item is not None for h in simulation.hosts.values())
+
+    def test_standard_placement_fills_caches(self):
+        simulation = build_simulation(tiny_config(cache_num=4), "pull")
+        for host in simulation.hosts.values():
+            assert len(host.store) == 4
+            assert host.node_id not in host.store
+
+    def test_single_source_placement(self):
+        simulation = build_simulation(tiny_config(), "rpcc-sc", "single_source")
+        item = simulation.single_source_item
+        assert item is not None
+        source = simulation.catalog.source_of(item)
+        for host_id, host in simulation.hosts.items():
+            if host_id == source:
+                assert item not in host.store
+            else:
+                assert item in host.store
+
+    def test_stable_fraction_respected(self):
+        simulation = build_simulation(tiny_config(stable_fraction=0.5), "push")
+        switchers = sum(
+            1 for host in simulation.hosts.values() if host.switching is not None
+        )
+        assert switchers == 6
+
+
+class TestRunSimulation:
+    @pytest.mark.parametrize("spec", STRATEGY_SPECS)
+    def test_every_spec_runs_and_answers(self, spec):
+        result = run_simulation(tiny_config(), spec)
+        assert result.total_queries > 0
+        assert result.summary.queries_answered > 0
+        assert result.summary.transmissions > 0
+        # Answered queries never exceed issued ones.
+        assert result.summary.queries_answered <= result.summary.queries_issued
+
+    def test_deterministic_given_seed(self):
+        a = run_simulation(tiny_config(seed=5), "rpcc-sc")
+        b = run_simulation(tiny_config(seed=5), "rpcc-sc")
+        assert a.summary.transmissions == b.summary.transmissions
+        assert a.summary.mean_latency == b.summary.mean_latency
+        assert a.total_queries == b.total_queries
+
+    def test_seed_changes_outcome(self):
+        a = run_simulation(tiny_config(seed=5), "pull")
+        b = run_simulation(tiny_config(seed=6), "pull")
+        assert a.summary.transmissions != b.summary.transmissions
+
+    def test_relay_samples_only_for_rpcc(self):
+        assert run_simulation(tiny_config(), "push").relay_samples == []
+        rpcc = run_simulation(tiny_config(sim_time=400.0), "rpcc-sc")
+        assert rpcc.relay_samples  # sampled every 60 s
+
+    def test_warmup_excluded_from_metrics(self):
+        with_warmup = run_simulation(tiny_config(warmup=200.0), "pull")
+        without = run_simulation(tiny_config(warmup=0.0, sim_time=500.0), "pull")
+        assert with_warmup.summary.queries_issued < without.summary.queries_issued
+
+    def test_transmissions_per_minute(self):
+        result = run_simulation(tiny_config(), "push")
+        expected = result.summary.transmissions / (result.config.sim_time / 60.0)
+        assert result.transmissions_per_minute == pytest.approx(expected)
+
+    def test_weak_rpcc_never_violates(self):
+        result = run_simulation(tiny_config(), "rpcc-wc")
+        assert result.summary.violation_ratio == 0.0
+
+
+class TestSweeps:
+    def test_run_axis_sweep_shape(self):
+        results = run_axis_sweep(
+            tiny_config(sim_time=200.0), "cache_num", (2, 4), ("push", "pull")
+        )
+        assert set(results) == {
+            ("push", 2), ("push", 4), ("pull", 2), ("pull", 4),
+        }
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_axis_sweep(tiny_config(), "seed", (1, 2), ("push",))
+
+    def test_extract_series(self):
+        results = run_axis_sweep(
+            tiny_config(sim_time=200.0), "cache_num", (2, 4), ("push",)
+        )
+        series = extract_series(
+            results, ("push",), (2, 4), lambda r: float(r.summary.transmissions)
+        )
+        assert len(series["push"]) == 2
+
+
+class TestFigureData:
+    def make_figure(self):
+        return FigureData(
+            figure_id="Fig X",
+            title="test",
+            x_label="x",
+            y_label="y",
+            x_values=[1.0, 2.0],
+            series={"push": [10.0, 20.0], "pull": [30.0, 40.0]},
+        )
+
+    def test_value_lookup(self):
+        figure = self.make_figure()
+        assert figure.value("pull", 2.0) == 40.0
+
+    def test_format_contains_rows(self):
+        text = self.make_figure().format()
+        assert "Fig X" in text
+        assert "push" in text and "pull" in text
+        assert len(text.splitlines()) == 5
+
+
+class TestFigureCSV:
+    def make_figure(self):
+        return FigureData(
+            figure_id="Fig X",
+            title="test",
+            x_label="x",
+            y_label="y",
+            x_values=[1.0, 2.0],
+            series={"push": [10.0, 20.0], "pull": [30.0, 40.0]},
+        )
+
+    def test_to_csv_shape(self):
+        csv_text = self.make_figure().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x,push,pull"
+        assert lines[1] == "1.0,10.0,30.0"
+        assert lines[2] == "2.0,20.0,40.0"
+
+    def test_save_csv_roundtrip(self, tmp_path):
+        target = tmp_path / "fig.csv"
+        figure = self.make_figure()
+        figure.save_csv(str(target))
+        assert target.read_text() == figure.to_csv()

@@ -1,0 +1,267 @@
+"""Tests for the future-work extensions and ablation strategies."""
+
+import random
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.errors import ConfigurationError, ProtocolError
+from repro.extensions.adaptive import AdaptiveConfig, AdaptiveRPCCStrategy
+from repro.extensions.relay_control import ControlledConfig, ControlledRPCCStrategy
+from repro.extensions.replica import GossipReplication, ReplicatedRegister, WriteTag
+from repro.extensions.selection_ablation import (
+    RandomSelectionConfig,
+    RandomSelectionRPCCStrategy,
+)
+
+from tests.conftest import line_positions, make_eligible, make_world
+
+
+class TestAdaptiveConfig:
+    def test_valid_defaults(self):
+        config = AdaptiveConfig()
+        assert config.min_scale <= 1.0 <= config.max_scale
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(min_scale=2.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(grow=0.9)
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(shrink=1.5)
+
+    def test_clamp(self):
+        config = AdaptiveConfig(min_scale=0.5, max_scale=2.0)
+        assert config.clamp(10.0) == 2.0
+        assert config.clamp(0.1) == 0.5
+        assert config.clamp(1.3) == 1.3
+
+
+class TestAdaptiveRPCC:
+    def make(self, **kwargs):
+        defaults = dict(ttn=100.0, ttr=75.0, poll_timeout=2.0,
+                        source_poll_timeout=2.0)
+        defaults.update(kwargs)
+        config = AdaptiveConfig(**defaults)
+        return make_world(
+            line_positions(4), lambda ctx: AdaptiveRPCCStrategy(ctx, config)
+        )
+
+    def test_quiet_source_stretches_interval(self):
+        world = self.make()
+        world.strategy.start()
+        world.run(500.0)  # several quiet intervals
+        source = world.agent(0).source
+        assert source.current_interval > 100.0
+
+    def test_hot_source_shrinks_interval(self):
+        world = self.make()
+        world.strategy.start()
+        for _ in range(40):
+            world.update_item(0)
+            world.run(25.0)
+        source = world.agent(0).source
+        assert source.current_interval < 100.0
+
+    def test_ack_b_shrinks_ttp_scale(self):
+        world = self.make()
+        world.give_copy(1, 3)
+        make_eligible(world.host(1))
+        world.strategy.start()
+        world.run(110.0)  # node 1 relays item 3
+        world.update_item(3)
+        world.run(110.0)  # relay refreshed to v1
+        world.give_copy(2, 3, version=0)
+        world.agent(2).local_query(3, ConsistencyLevel.STRONG)
+        world.run(10.0)
+        assert world.agent(2).cache_peer.ttp_scale(3) < 1.0
+
+    def test_ack_a_grows_ttp_scale(self):
+        world = self.make()
+        world.give_copy(1, 3)
+        make_eligible(world.host(1))
+        world.strategy.start()
+        world.run(210.0)
+        world.give_copy(2, 3)
+        world.agent(2).local_query(3, ConsistencyLevel.STRONG)
+        world.run(10.0)
+        assert world.agent(2).cache_peer.ttp_scale(3) > 1.0
+
+
+class TestRelayControl:
+    def make(self, max_relays):
+        config = ControlledConfig(
+            max_relays=max_relays, ttn=100.0, ttr=75.0,
+            poll_timeout=2.0, source_poll_timeout=2.0,
+        )
+        return make_world(
+            line_positions(5), lambda ctx: ControlledRPCCStrategy(ctx, config)
+        )
+
+    def test_cap_validated(self):
+        with pytest.raises(ConfigurationError):
+            ControlledConfig(max_relays=0)
+
+    def test_cap_enforced(self):
+        world = self.make(max_relays=1)
+        for node in (1, 2, 3):
+            world.give_copy(node, 0)
+            make_eligible(world.host(node))
+        world.strategy.start()
+        world.run(400.0)
+        assert len(world.agent(0).source.relay_table) == 1
+        assert world.metrics.counter("rpcc_apply_rejected_cap") >= 1
+
+    def test_generous_cap_accepts_all(self):
+        world = self.make(max_relays=10)
+        for node in (1, 2, 3):
+            world.give_copy(node, 0)
+            make_eligible(world.host(node))
+        world.strategy.start()
+        world.run(200.0)
+        assert len(world.agent(0).source.relay_table) == 3
+
+    def test_slot_reopens_after_cancel(self):
+        world = self.make(max_relays=1)
+        world.give_copy(1, 0)
+        make_eligible(world.host(1))
+        world.strategy.start()
+        world.run(110.0)
+        assert world.agent(1).roles.is_relay(0)
+        # Relay 1 loses its copy and resigns; node 2 takes the open slot
+        # at the next invalidation round.
+        world.host(1).store.discard(0)
+        world.agent(1)._resign(0)
+        world.give_copy(2, 0)
+        make_eligible(world.host(2))
+        world.run(400.0)
+        assert world.agent(2).roles.is_relay(0)
+
+
+class StubAgentStrategy:
+    """Bare strategy so make_world can run without protocol logic."""
+
+    def __init__(self, context):
+        self.context = context
+        self.agents = {}
+
+    def make_agent(self, host):
+        return None
+
+    def start(self):
+        pass
+
+
+class TestReplicatedRegister:
+    def test_write_bumps_tag(self):
+        register = ReplicatedRegister(1, 0)
+        tag = register.write(42)
+        assert tag == WriteTag(1, 1)
+        assert register.read() == (42, tag)
+
+    def test_merge_takes_newer(self):
+        register = ReplicatedRegister(1, 0)
+        register.write(1)
+        assert register.merge(WriteTag(5, 2), 99)
+        assert register.read()[0] == 99
+
+    def test_merge_rejects_older(self):
+        register = ReplicatedRegister(1, 0)
+        register.write(1)
+        register.write(2)
+        assert not register.merge(WriteTag(1, 9), 99)
+        assert register.read()[0] == 2
+
+    def test_tie_broken_by_writer_id(self):
+        register = ReplicatedRegister(1, 0)
+        register.write(10)  # tag (1, 1)
+        assert register.merge(WriteTag(1, 2), 20)  # same clock, higher writer
+        assert register.read()[0] == 20
+
+    def test_lamport_clock_absorbs_remote(self):
+        register = ReplicatedRegister(1, 0)
+        register.merge(WriteTag(10, 2), 5)
+        tag = register.write(7)
+        assert tag.lamport == 11  # clock advanced past the remote write
+
+
+class TestGossipReplication:
+    def make(self, holders=4):
+        world = make_world(line_positions(holders), StubAgentStrategy)
+        replication = GossipReplication(
+            world.sim,
+            world.network,
+            item_id=0,
+            holders=list(range(holders)),
+            rng=random.Random(5),
+            gossip_interval=10.0,
+        )
+        return world, replication
+
+    def test_needs_two_holders(self):
+        world = make_world(line_positions(2), StubAgentStrategy)
+        with pytest.raises(ProtocolError):
+            GossipReplication(
+                world.sim, world.network, 0, [0], random.Random(1)
+            )
+
+    def test_single_write_converges(self):
+        world, replication = self.make()
+        replication.start()
+        replication.write(0, 42)
+        world.run(300.0)
+        assert replication.converged()
+        assert all(
+            replication.read(node)[0] == 42 for node in range(4)
+        )
+
+    def test_concurrent_writes_converge_to_one_winner(self):
+        world, replication = self.make()
+        replication.start()
+        replication.write(0, 10)
+        replication.write(3, 30)  # same Lamport clock: writer 3 wins ties
+        world.run(400.0)
+        assert replication.converged()
+        assert replication.distinct_values() == 1
+        assert replication.read(1)[0] == 30
+
+    def test_later_write_beats_earlier(self):
+        world, replication = self.make()
+        replication.start()
+        replication.write(0, 10)
+        world.run(100.0)  # converge on 10 (clock advances everywhere)
+        replication.write(2, 20)
+        world.run(300.0)
+        assert replication.converged()
+        assert replication.read(0)[0] == 20
+
+    def test_offline_holder_catches_up(self):
+        world, replication = self.make()
+        replication.start()
+        world.host(3).set_online(False)
+        replication.write(0, 77)
+        world.run(200.0)
+        assert replication.read(3)[0] != 77 or replication.converged() is False
+        world.host(3).set_online(True)
+        world.run(300.0)
+        assert replication.converged()
+        assert replication.read(3)[0] == 77
+
+
+class TestRandomSelectionAblation:
+    def test_config_validated(self):
+        with pytest.raises(ConfigurationError):
+            RandomSelectionConfig(promote_prob=0.0)
+
+    def test_promotes_without_eligibility(self):
+        config = RandomSelectionConfig(
+            promote_prob=1.0, ttn=100.0, ttr=75.0,
+            poll_timeout=2.0, source_poll_timeout=2.0,
+        )
+        world = make_world(
+            line_positions(4), lambda ctx: RandomSelectionRPCCStrategy(ctx, config)
+        )
+        world.give_copy(1, 3)  # NOT made eligible
+        world.strategy.start()
+        world.run(250.0)
+        assert world.agent(1).roles.is_relay(3)

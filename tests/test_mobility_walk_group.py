@@ -1,0 +1,136 @@
+"""Unit tests for the random-walk and group mobility models."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.group import GroupMember, make_group
+from repro.mobility.stationary import PiecewiseLinear, Stationary
+from repro.mobility.terrain import Point, Terrain
+from repro.mobility.walk import RandomWalk
+from repro.mobility.waypoint import RandomWaypoint
+
+
+def make_walk(terrain, seed=1, **kwargs):
+    defaults = dict(speed_min=1.0, speed_max=5.0, epoch=30.0)
+    defaults.update(kwargs)
+    return RandomWalk(terrain, random.Random(seed), **defaults)
+
+
+class TestRandomWalk:
+    def test_position_at_zero_is_start(self, terrain):
+        model = make_walk(terrain, start=Point(50, 50))
+        assert model.position(0.0) == Point(50, 50)
+
+    def test_stays_inside_terrain(self, terrain):
+        model = make_walk(terrain, seed=9, speed_max=20.0)
+        for t in range(0, 10_000, 73):
+            assert terrain.contains(model.position(float(t)))
+
+    def test_reflection_at_boundary(self):
+        # Small terrain, fast node: reflections must occur and stay legal.
+        terrain = Terrain(100.0, 100.0)
+        model = make_walk(terrain, seed=3, speed_min=10.0, speed_max=10.0)
+        for t in range(0, 500):
+            point = model.position(float(t))
+            assert 0.0 <= point.x <= 100.0
+            assert 0.0 <= point.y <= 100.0
+
+    def test_deterministic_given_seed(self, terrain):
+        a = make_walk(terrain, seed=5)
+        b = make_walk(terrain, seed=5)
+        for t in (1.0, 77.7, 456.0):
+            assert a.position(t) == b.position(t)
+
+    def test_pure_function_of_time(self, terrain):
+        model = make_walk(terrain, seed=2)
+        late = model.position(900.0)
+        assert model.position(900.0) == late
+
+    def test_speed_constant_within_epoch(self, terrain):
+        model = make_walk(terrain, seed=4, epoch=50.0)
+        assert model.speed_at(10.0) == pytest.approx(model.speed_at(40.0))
+
+    def test_speed_within_bounds(self, terrain):
+        model = make_walk(terrain, seed=6, speed_min=2.0, speed_max=3.0)
+        for t in (5.0, 100.0, 555.0):
+            assert 2.0 <= model.speed_at(t) <= 3.0
+
+    def test_direction_changes_between_epochs(self, terrain):
+        model = make_walk(terrain, seed=8, epoch=10.0)
+        headings = set()
+        for epoch_index in range(6):
+            t = epoch_index * 10.0 + 5.0
+            a = model.position(t)
+            b = model.position(t + 1.0)
+            headings.add(round(math.atan2(b.y - a.y, b.x - a.x), 3))
+        assert len(headings) > 1
+
+    def test_validation(self, terrain, rng):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(terrain, rng, speed_min=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWalk(terrain, rng, epoch=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWalk(terrain, rng, start=Point(-1, 0))
+
+
+class TestGroupMobility:
+    def test_members_stay_near_reference(self, terrain, rng):
+        reference = Stationary(Point(700, 700))
+        members = make_group(terrain, reference, rng, size=5,
+                             spread=80.0, jitter=10.0)
+        for member in members:
+            for t in (0.0, 100.0, 500.0):
+                distance = member.position(t).distance_to(Point(700, 700))
+                assert distance <= 80.0 + 10.0 * 2 + 1e-9
+
+    def test_members_move_with_reference(self, terrain, rng):
+        reference = PiecewiseLinear(
+            [(0.0, Point(100, 100)), (100.0, Point(900, 900))]
+        )
+        member = GroupMember(terrain, reference, rng, spread=50.0, jitter=0.0)
+        start = member.position(0.0)
+        end = member.position(100.0)
+        # The member's displacement mirrors the reference's.
+        assert start.distance_to(end) > 700.0
+
+    def test_members_have_distinct_offsets(self, terrain, rng):
+        reference = Stationary(Point(500, 500))
+        members = make_group(terrain, reference, rng, size=8, jitter=0.0)
+        positions = {members[i].position(0.0) for i in range(8)}
+        assert len(positions) > 1
+
+    def test_positions_clamped_to_terrain(self, rng):
+        terrain = Terrain(200.0, 200.0)
+        reference = Stationary(Point(195, 195))  # near the corner
+        member = GroupMember(terrain, reference, rng, spread=100.0, jitter=30.0)
+        for t in (0.0, 33.0, 250.0):
+            assert terrain.contains(member.position(t))
+
+    def test_jitter_moves_member_over_time(self, terrain, rng):
+        reference = Stationary(Point(500, 500))
+        member = GroupMember(terrain, reference, rng, spread=0.0,
+                             jitter=20.0, jitter_period=100.0)
+        positions = {member.position(t) for t in (0.0, 25.0, 50.0, 75.0)}
+        assert len(positions) > 1
+
+    def test_validation(self, terrain, rng):
+        reference = Stationary(Point(0, 0))
+        with pytest.raises(ConfigurationError):
+            GroupMember(terrain, reference, rng, spread=-1.0)
+        with pytest.raises(ConfigurationError):
+            GroupMember(terrain, reference, rng, jitter_period=0.0)
+        with pytest.raises(ConfigurationError):
+            make_group(terrain, reference, rng, size=0)
+
+    def test_group_over_waypoint_reference(self, terrain):
+        reference = RandomWaypoint(terrain, random.Random(1), 1.0, 5.0, 10.0)
+        members = make_group(terrain, reference, random.Random(2), size=4,
+                             spread=60.0, jitter=5.0)
+        for t in (0.0, 300.0, 900.0):
+            anchor = reference.position(t)
+            for member in members:
+                assert member.position(t).distance_to(anchor) < 140.0

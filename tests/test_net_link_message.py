@@ -1,0 +1,68 @@
+"""Unit tests for the link model and the message base class."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import LinkModel
+from repro.net.message import Message, next_message_id
+
+
+class TestLinkModel:
+    def test_hop_delay_combines_latency_and_serialisation(self):
+        link = LinkModel(latency=0.01, bandwidth_bps=1_000_000)
+        # 1250 bytes = 10000 bits -> 10 ms at 1 Mbps, plus 10 ms latency.
+        assert link.hop_delay(1250) == pytest.approx(0.02)
+
+    def test_path_delay_scales_with_hops(self):
+        link = LinkModel(latency=0.005, bandwidth_bps=2_000_000)
+        assert link.path_delay(100, 4) == pytest.approx(4 * link.hop_delay(100))
+
+    def test_path_delay_zero_hops(self):
+        assert LinkModel().path_delay(100, 0) == 0.0
+
+    def test_no_loss_by_default(self):
+        link = LinkModel()
+        assert not any(link.hop_is_lost() for _ in range(100))
+
+    def test_loss_rate_applies(self):
+        link = LinkModel(loss_rate=0.5, rng=random.Random(1))
+        losses = sum(link.hop_is_lost() for _ in range(1000))
+        assert 400 < losses < 600
+
+    def test_loss_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel(loss_rate=0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel(latency=-0.1)
+        with pytest.raises(ConfigurationError):
+            LinkModel(bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            LinkModel(loss_rate=1.0, rng=random.Random(1))
+
+
+class TestMessage:
+    def test_ids_unique_and_increasing(self):
+        a, b = next_message_id(), next_message_id()
+        assert b == a + 1
+
+    def test_default_size_applied(self):
+        msg = Message(sender=1)
+        assert msg.size_bytes == Message.DEFAULT_SIZE
+
+    def test_explicit_size_kept(self):
+        assert Message(sender=1, size_bytes=500).size_bytes == 500
+
+    def test_type_name(self):
+        assert Message(sender=1).type_name == "Message"
+
+    def test_messages_are_frozen(self):
+        msg = Message(sender=1)
+        with pytest.raises(Exception):
+            msg.sender = 2  # type: ignore[misc]
+
+    def test_distinct_messages_distinct_ids(self):
+        assert Message(sender=1).msg_id != Message(sender=1).msg_id

@@ -1,0 +1,131 @@
+"""Unit tests for the disc-model connectivity graph."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.mobility.terrain import Point
+from repro.net.topology import TopologySnapshot, TopologyService
+
+
+def snapshot_of(coords, radio_range=150.0):
+    positions = {i: Point(x, y) for i, (x, y) in enumerate(coords)}
+    return TopologySnapshot(positions, radio_range)
+
+
+class TestTopologySnapshot:
+    def test_neighbors_within_range(self):
+        snap = snapshot_of([(0, 0), (100, 0), (400, 0)])
+        assert snap.neighbors(0) == [1]
+        assert snap.neighbors(2) == []
+
+    def test_range_boundary_inclusive(self):
+        snap = snapshot_of([(0, 0), (150, 0)])
+        assert snap.neighbors(0) == [1]
+
+    def test_unknown_node_raises(self):
+        snap = snapshot_of([(0, 0)])
+        with pytest.raises(TopologyError):
+            snap.neighbors(99)
+
+    def test_degree(self):
+        snap = snapshot_of([(0, 0), (100, 0), (100, 100)])
+        assert snap.degree(0) == 2
+
+    def test_shortest_path_line(self):
+        snap = snapshot_of([(0, 0), (100, 0), (200, 0), (300, 0)])
+        assert snap.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_shortest_path_self(self):
+        snap = snapshot_of([(0, 0), (100, 0)])
+        assert snap.shortest_path(0, 0) == [0]
+
+    def test_shortest_path_partitioned_returns_none(self):
+        snap = snapshot_of([(0, 0), (1000, 0)])
+        assert snap.shortest_path(0, 1) is None
+
+    def test_shortest_path_unknown_target(self):
+        snap = snapshot_of([(0, 0)])
+        assert snap.shortest_path(0, 42) is None
+
+    def test_shortest_path_prefers_fewer_hops(self):
+        # 0-1-2 direct chain plus a detour 0-3-4-2.
+        snap = snapshot_of([(0, 0), (100, 0), (200, 0), (0, 100), (150, 100)])
+        assert snap.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_hop_distance(self):
+        snap = snapshot_of([(0, 0), (100, 0), (200, 0)])
+        assert snap.hop_distance(0, 2) == 2
+        assert snap.hop_distance(0, 0) == 0
+
+    def test_bfs_levels_depth_limited(self):
+        snap = snapshot_of([(i * 100, 0) for i in range(6)])
+        levels = snap.bfs_levels(0, max_depth=2)
+        assert levels == {0: 0, 1: 1, 2: 2}
+
+    def test_bfs_levels_unlimited(self):
+        snap = snapshot_of([(i * 100, 0) for i in range(4)])
+        assert snap.bfs_levels(0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_connected_components(self):
+        snap = snapshot_of([(0, 0), (100, 0), (1000, 0), (1100, 0)])
+        components = sorted(sorted(c) for c in snap.connected_components())
+        assert components == [[0, 1], [2, 3]]
+
+    def test_is_connected(self):
+        assert snapshot_of([(0, 0), (100, 0)]).is_connected()
+        assert not snapshot_of([(0, 0), (500, 0)]).is_connected()
+        assert TopologySnapshot({}, 100.0).is_connected()
+
+    def test_edge_count(self):
+        snap = snapshot_of([(0, 0), (100, 0), (100, 100)])
+        assert snap.edge_count() == 3
+
+    def test_nodes_property(self):
+        assert snapshot_of([(0, 0), (1, 1)]).nodes == {0, 1}
+
+
+class TestTopologyService:
+    def make_service(self, states, quantum=1.0):
+        clock = {"t": 0.0}
+        service = TopologyService(
+            clock=lambda: clock["t"],
+            node_states=lambda: list(states),
+            radio_range=150.0,
+            quantum=quantum,
+        )
+        return service, clock
+
+    def test_offline_nodes_excluded(self):
+        states = [(0, Point(0, 0), True), (1, Point(100, 0), False)]
+        service, _ = self.make_service(states)
+        assert service.current().nodes == {0}
+
+    def test_snapshot_cached_within_quantum(self):
+        states = [(0, Point(0, 0), True)]
+        service, clock = self.make_service(states)
+        first = service.current()
+        clock["t"] = 0.5
+        assert service.current() is first
+        assert service.snapshots_built == 1
+
+    def test_snapshot_rebuilt_after_quantum(self):
+        states = [(0, Point(0, 0), True)]
+        service, clock = self.make_service(states)
+        service.current()
+        clock["t"] = 1.5
+        service.current()
+        assert service.snapshots_built == 2
+
+    def test_invalidate_forces_rebuild(self):
+        states = [(0, Point(0, 0), True)]
+        service, _ = self.make_service(states)
+        service.current()
+        service.invalidate()
+        service.current()
+        assert service.snapshots_built == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            TopologyService(lambda: 0.0, lambda: [], radio_range=0.0)
+        with pytest.raises(TopologyError):
+            TopologyService(lambda: 0.0, lambda: [], radio_range=100.0, quantum=0.0)

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=42.0).now == 42.0
+
+    def test_non_finite_start_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(start_time=float("nan"))
+
+    def test_schedule_returns_pending_handle(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.pending
+        assert not handle.fired
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_infinite_time_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(float("inf"), lambda: None)
+
+    def test_non_callable_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(1.0, "not callable")
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+
+class TestExecution:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self, sim):
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_callback_args_passed(self, sim):
+        result = []
+        sim.schedule(1.0, lambda a, b: result.append(a + b), 2, 3)
+        sim.run()
+        assert result == [5]
+
+    def test_run_until_stops_at_horizon(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run_until(5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+
+    def test_run_until_sets_clock_even_without_events(self, sim):
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_run_until_backwards_rejected(self, sim):
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_until_inclusive_of_boundary(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        sim.run_until(5.0)
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_run_returns_event_count(self, sim):
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 4
+
+    def test_max_events_limits_run(self, sim):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending_events == 7
+
+    def test_step_fires_single_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step()
+        assert fired == [1]
+
+    def test_step_on_empty_heap_returns_false(self, sim):
+        assert not sim.step()
+
+    def test_not_reentrant(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, 1)
+        assert handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_twice_returns_false(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_cancel_after_fire_returns_false(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert not handle.cancel()
+
+    def test_cancelled_events_not_counted(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert sim.run() == 1
+        assert keep.fired
+
+    def test_cancel_during_run(self, sim):
+        fired = []
+        later = sim.schedule(2.0, fired.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []

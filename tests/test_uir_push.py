@@ -1,0 +1,79 @@
+"""Tests for the UIR push extension (Cao'00-style reports between IRs)."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.errors import ProtocolError
+from repro.extensions.uir_push import UIRPushStrategy, UIRReport
+
+from tests.conftest import line_positions, make_world
+
+
+def uir_world(uir_count=3, ttn=120.0, count=4):
+    return make_world(
+        line_positions(count),
+        lambda ctx: UIRPushStrategy(ctx, uir_count=uir_count, ttn=ttn, ttl=8),
+    )
+
+
+class TestUIRPush:
+    def test_uir_count_validated(self):
+        world = uir_world()
+        with pytest.raises(ProtocolError):
+            UIRPushStrategy(world.context, uir_count=0)
+
+    def test_sub_interval(self):
+        world = uir_world(uir_count=3, ttn=120.0)
+        assert world.strategy.sub_interval == pytest.approx(30.0)
+
+    def test_reports_alternate_uir_and_ir(self):
+        world = uir_world(uir_count=3, ttn=120.0, count=2)
+        world.strategy.start()
+        world.run(250.0)
+        uirs = world.metrics.traffic.messages("UIRReport")
+        full = world.metrics.traffic.messages("PushInvalidation")
+        # Per source over two TTN cycles: 6 UIRs and 2 full IRs.
+        assert uirs > full > 0
+        assert uirs == pytest.approx(3 * full, abs=2 * 3)
+
+    def test_latency_shrinks_with_uirs(self):
+        world = uir_world(uir_count=3, ttn=120.0)
+        world.strategy.start()
+        world.give_copy(0, 1)
+        record = world.agent(0).local_query(1, ConsistencyLevel.STRONG)
+        world.run(40.0)
+        # Answered by the first sub-report (<= 30 s) instead of a full TTN.
+        assert record.answered
+        assert record.latency <= 31.0
+
+    def test_uir_validates_stale_copy(self):
+        world = uir_world(uir_count=3, ttn=120.0)
+        world.strategy.start()
+        world.give_copy(0, 1, version=0)
+        world.update_item(1)
+        record = world.agent(0).local_query(1, ConsistencyLevel.STRONG)
+        world.run(60.0)
+        assert record.answered
+        assert record.served_version == 1
+
+    def test_uir_is_push_invalidation_subtype(self):
+        report = UIRReport(sender=1, item_id=2, version=3)
+        from repro.consistency.messages import PushInvalidation
+
+        assert isinstance(report, PushInvalidation)
+        assert report.type_name == "UIRReport"
+
+    def test_traffic_scales_with_uir_count(self):
+        light = uir_world(uir_count=1, ttn=120.0, count=2)
+        light.strategy.start()
+        light.run(500.0)
+        heavy = uir_world(uir_count=5, ttn=120.0, count=2)
+        heavy.strategy.start()
+        heavy.run(500.0)
+        light_tx = light.metrics.traffic.transmissions(
+            "PushInvalidation", "UIRReport"
+        )
+        heavy_tx = heavy.metrics.traffic.transmissions(
+            "PushInvalidation", "UIRReport"
+        )
+        assert heavy_tx > 2 * light_tx
