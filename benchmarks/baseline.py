@@ -1,0 +1,146 @@
+"""Benchmark baseline tracking: save, load and diff ``BENCH_*.json`` files.
+
+A baseline file maps benchmark names to best-of-N wall-clock seconds plus
+a small metadata block.  :func:`compare` diffs a fresh result set against
+a committed baseline so CI (and future PRs) can fail on perf regressions
+instead of discovering them in a figure run; ``run_bench.py`` is the
+entry point that wires this to the kernel benchmarks.
+
+Usable standalone to diff two result files::
+
+    python benchmarks/baseline.py BENCH_kernel.json /tmp/BENCH_new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "Comparison",
+    "compare",
+    "format_comparison",
+    "has_regressions",
+    "load_baseline",
+    "save_baseline",
+]
+
+#: A benchmark regresses when it is more than 30% slower than baseline.
+DEFAULT_THRESHOLD = 0.30
+
+
+@dataclass
+class Comparison:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    baseline_s: Optional[float]
+    current_s: Optional[float]
+    status: str  # "ok" | "regressed" | "improved" | "new" | "missing"
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current/baseline; ``None`` when either side is absent."""
+        if not self.baseline_s or self.current_s is None:
+            return None
+        return self.current_s / self.baseline_s
+
+
+def load_baseline(path) -> Dict[str, float]:
+    """Read the ``{name: seconds}`` results of a baseline file."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    return {name: float(value) for name, value in data["results"].items()}
+
+
+def save_baseline(path, results: Dict[str, float], meta: Optional[Dict] = None) -> None:
+    """Write ``results`` (plus environment metadata) as a baseline file."""
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **(meta or {}),
+        },
+        "results": {name: results[name] for name in sorted(results)},
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    pathlib.Path(path).write_text(text, encoding="utf-8")
+
+
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Comparison]:
+    """Diff ``current`` against ``baseline``, one row per benchmark name.
+
+    Benchmarks slower than ``baseline * (1 + threshold)`` are marked
+    ``regressed``; symmetrically faster ones ``improved``.  Names present
+    on only one side become ``new`` / ``missing`` rows (never failures, so
+    adding a benchmark does not require regenerating the baseline first).
+    """
+    rows: List[Comparison] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            status = "new"
+        elif cur is None:
+            status = "missing"
+        elif cur > base * (1.0 + threshold):
+            status = "regressed"
+        elif cur < base / (1.0 + threshold):
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(Comparison(name, base, cur, status))
+    return rows
+
+
+def has_regressions(rows: Sequence[Comparison]) -> bool:
+    """``True`` when any row crossed the regression threshold."""
+    return any(row.status == "regressed" for row in rows)
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:10.3f} ms"
+
+
+def format_comparison(rows: Sequence[Comparison]) -> str:
+    """Human-readable comparison table."""
+    width = max([len(row.name) for row in rows] + [9])
+    lines = [f"{'benchmark':<{width}}  {'baseline':>13}  {'current':>13}  {'ratio':>6}  status"]
+    for row in rows:
+        ratio = f"{row.ratio:.2f}x" if row.ratio is not None else "-"
+        lines.append(
+            f"{row.name:<{width}}  {_fmt_seconds(row.baseline_s):>13}  "
+            f"{_fmt_seconds(row.current_s):>13}  {ratio:>6}  {row.status}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Diff two benchmark result files.")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional slowdown that counts as a regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    rows = compare(load_baseline(args.current), load_baseline(args.baseline), args.threshold)
+    print(format_comparison(rows))
+    return 1 if has_regressions(rows) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Kernel benchmark entry point with a committed-baseline regression gate.
+
+Runs the same fast-path workloads as ``bench_kernel.py`` (event kernel,
+spatial-grid snapshot build, memoised BFS bursts, ``has_edge``) without
+needing pytest, writes the measurements to ``BENCH_kernel.json`` and
+compares them against the committed baseline next to this file::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # measure + gate
+    PYTHONPATH=src python benchmarks/run_bench.py --update   # rewrite baseline
+
+Exits nonzero when any benchmark is more than ``--threshold`` (default
+30%) slower than the committed baseline, so CI catches hot-path
+regressions before they show up as hour-long figure runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import pathlib
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+sys.path.insert(0, str(BENCH_DIR.parent))
+
+from benchmarks.baseline import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    compare,
+    format_comparison,
+    has_regressions,
+    load_baseline,
+    save_baseline,
+)
+from repro.mobility.terrain import Terrain  # noqa: E402
+from repro.mobility.waypoint import RandomWaypoint  # noqa: E402
+from repro.net.topology import TopologySnapshot  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+BASELINE_PATH = BENCH_DIR / "BENCH_kernel.json"
+
+
+def _scaled_positions(count: int, seed: int = 3):
+    """Random placements at the paper's density (50 nodes / 1500 m square)."""
+    side = 1500.0 * math.sqrt(count / 50.0)
+    rng = random.Random(seed)
+    terrain = Terrain(side, side)
+    return {i: terrain.random_point(rng) for i in range(count)}
+
+
+def _bench_event_throughput() -> None:
+    sim = Simulator()
+    for index in range(10_000):
+        sim.schedule(float(index % 97) * 0.1, lambda: None)
+    sim.run()
+
+
+def _make_build_bench(count: int) -> Callable[[], None]:
+    positions = _scaled_positions(count)
+
+    def run() -> None:
+        TopologySnapshot(positions, 350.0)
+
+    return run
+
+
+def _make_route_burst(count: int) -> Callable[[], None]:
+    positions = _scaled_positions(count)
+
+    def run() -> None:
+        snapshot = TopologySnapshot(positions, 350.0)
+        for query in range(200):
+            snapshot.shortest_path(query % 16, (query * 37) % count)
+
+    return run
+
+
+def _make_flood_burst(count: int) -> Callable[[], None]:
+    positions = _scaled_positions(count)
+
+    def run() -> None:
+        snapshot = TopologySnapshot(positions, 350.0)
+        for query in range(200):
+            snapshot.bfs_levels(query % 16, max_depth=8)
+
+    return run
+
+
+def _bench_has_edge() -> None:
+    snapshot = _HAS_EDGE_SNAPSHOT
+    for query in range(10_000):
+        snapshot.has_edge(query % 1000, (query * 13 + 7) % 1000)
+
+
+_HAS_EDGE_SNAPSHOT = None  # built lazily so import stays cheap
+
+
+def _bench_waypoint_sampling() -> None:
+    terrain = Terrain(1500.0, 1500.0)
+    model = RandomWaypoint(terrain, random.Random(1), 1.0, 5.0, 60.0)
+    for t in range(0, 18_000, 10):
+        model.position(float(t))
+
+
+def kernel_benchmarks() -> List[Tuple[str, Callable[[], None]]]:
+    """Name -> one-iteration callable for every gated kernel benchmark."""
+    global _HAS_EDGE_SNAPSHOT
+    if _HAS_EDGE_SNAPSHOT is None:
+        _HAS_EDGE_SNAPSHOT = TopologySnapshot(_scaled_positions(1000), 350.0)
+    return [
+        ("event_throughput_10k", _bench_event_throughput),
+        ("snapshot_build_50", _make_build_bench(50)),
+        ("snapshot_build_200", _make_build_bench(200)),
+        ("snapshot_build_1000", _make_build_bench(1000)),
+        ("route_burst_1000", _make_route_burst(1000)),
+        ("flood_burst_1000", _make_flood_burst(1000)),
+        ("has_edge_10k", _bench_has_edge),
+        ("waypoint_sampling_5h", _bench_waypoint_sampling),
+    ]
+
+
+def measure(fn: Callable[[], None], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    fn()  # warm up (and populate any per-process caches)
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_all(repeats: int = 5, verbose: bool = True) -> Dict[str, float]:
+    """Measure every kernel benchmark; returns ``{name: seconds}``."""
+    results: Dict[str, float] = {}
+    for name, fn in kernel_benchmarks():
+        results[name] = measure(fn, repeats)
+        if verbose:
+            print(f"  {name:<24} {results[name] * 1e3:10.3f} ms")
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH),
+        help="committed baseline to gate against (default benchmarks/BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_kernel.json",
+        help="where to write the fresh measurements (default ./BENCH_kernel.json; "
+        "the committed baseline is only rewritten with --update)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fractional slowdown that fails the gate (default 0.30)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repetitions per benchmark; the best is kept",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of gating against it",
+    )
+    args = parser.parse_args(argv)
+
+    print("running kernel benchmarks:")
+    results = run_all(repeats=args.repeats)
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update or not baseline_path.exists():
+        save_baseline(baseline_path, results, meta={"repeats": args.repeats})
+        print(f"baseline written to {baseline_path}")
+        return 0
+
+    rows = compare(results, load_baseline(baseline_path), args.threshold)
+    save_baseline(args.output, results, meta={"repeats": args.repeats})
+    print()
+    print(format_comparison(rows))
+    if has_regressions(rows):
+        print(f"\nFAIL: regression beyond {args.threshold:.0%} of baseline", file=sys.stderr)
+        return 1
+    print("\nOK: within threshold of committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,10 +88,20 @@ class Network:
     # Node registry
     # ------------------------------------------------------------------
     def register(self, node: NetworkNode) -> None:
-        """Add ``node`` to the network.  Node ids must be unique."""
+        """Add ``node`` to the network.  Node ids must be unique.
+
+        Registration binds the node's state listener so that online/offline
+        flips invalidate the cached topology snapshot immediately —
+        otherwise unicasts for the rest of the quantum could route through
+        a node that just went offline.
+        """
         if node.node_id in self._nodes:
             raise TopologyError(f"node id {node.node_id!r} already registered")
         self._nodes[node.node_id] = node
+        node.bind_state_listener(self._on_node_state_change)
+
+    def _on_node_state_change(self, node: NetworkNode) -> None:
+        self.topology.invalidate()
 
     def node(self, node_id: int) -> NetworkNode:
         """Look up a registered node by id."""

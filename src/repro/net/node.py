@@ -9,6 +9,7 @@ small stand-ins.
 from __future__ import annotations
 
 import abc
+from typing import Callable, Optional
 
 from repro.mobility.terrain import Point
 from repro.net.message import Message
@@ -18,6 +19,9 @@ __all__ = ["NetworkNode"]
 
 class NetworkNode(abc.ABC):
     """A node addressable by the simulated network."""
+
+    # Set by Network.register; class-level default keeps stand-ins simple.
+    _state_listener: Optional[Callable[["NetworkNode"], None]] = None
 
     @property
     @abc.abstractmethod
@@ -42,3 +46,20 @@ class NetworkNode(abc.ABC):
 
     def on_receive(self, message: Message) -> None:
         """Hook fired when this node receives a transmission (energy cost)."""
+
+    def bind_state_listener(
+        self, listener: Optional[Callable[["NetworkNode"], None]]
+    ) -> None:
+        """Install the network's online/offline observer (set at registration)."""
+        self._state_listener = listener
+
+    def notify_state_change(self) -> None:
+        """Tell the bound network that this node just flipped online/offline.
+
+        Concrete nodes must call this from their online-state transition
+        path so cached topology snapshots never route through a node that
+        has already gone offline (or miss one that just came back).
+        """
+        listener = self._state_listener
+        if listener is not None:
+            listener(self)

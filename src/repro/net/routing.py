@@ -82,10 +82,12 @@ class CachingRouter(Router):
 
     @staticmethod
     def _route_alive(snapshot: TopologySnapshot, route: List[int]) -> bool:
-        if any(node not in snapshot for node in route):
-            return False
+        # has_edge is O(1) and returns False for offline endpoints, so one
+        # pass over the links also covers node liveness (cached routes
+        # always span at least two nodes).
+        has_edge = snapshot.has_edge
         for hop_a, hop_b in zip(route, route[1:]):
-            if hop_b not in snapshot.neighbors(hop_a):
+            if not has_edge(hop_a, hop_b):
                 return False
         return True
 

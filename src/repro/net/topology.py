@@ -6,12 +6,29 @@ topology is a function of time; :class:`TopologyService` samples node
 positions on demand and caches the resulting :class:`TopologySnapshot` for
 a short quantum so that bursts of sends at (nearly) the same instant reuse
 one graph.
+
+Fast paths
+----------
+Snapshots sit in the inner loop of every experiment, so two optimisations
+keep them cheap without changing any observable result:
+
+* **Spatial-hash adjacency build.**  Nodes are bucketed into a uniform
+  grid with cell size equal to the radio range; only the 3x3 cell
+  neighbourhood can contain nodes within range, so the build is
+  O(N*k) for k nodes per neighbourhood instead of the naive O(N^2)
+  all-pairs scan.  Adjacency is stored both as ordered lists (BFS and
+  flood iteration order must stay deterministic) and as frozen sets for
+  an O(1) :meth:`TopologySnapshot.has_edge`.
+* **Per-source BFS memoisation.**  A snapshot is immutable, so one full
+  O(V+E) traversal per source serves every subsequent ``shortest_path``,
+  ``hop_distance``, ``bfs_levels``, flood and reachability query against
+  that snapshot.  Traffic bursts within a topology quantum therefore pay
+  for BFS once and do dict lookups afterwards.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TopologyError
@@ -36,18 +53,57 @@ class TopologySnapshot:
         self.positions = dict(positions)
         self.radio_range = float(radio_range)
         self._adjacency: Dict[int, List[int]] = {node: [] for node in self.positions}
+        self._neighbor_sets: Dict[int, frozenset] = {}
+        # source -> (levels, parents, items, prefix) of one full BFS, filled
+        # lazily: items is levels as a list and prefix[d] counts nodes at
+        # depth <= d, so depth-limited queries are a single list slice.
+        self._bfs_cache: Dict[
+            int,
+            Tuple[Dict[int, int], Dict[int, int], List[Tuple[int, int]], List[int]],
+        ] = {}
         self._build_adjacency()
 
     def _build_adjacency(self) -> None:
-        nodes = list(self.positions.items())
+        # Uniform spatial hash: with cell size == radio range, any node
+        # within range of a cell lies in that cell's 3x3 neighbourhood.
+        cell = self.radio_range if self.radio_range > 0 else 1.0
+        grid: Dict[Tuple[int, int], List[Tuple[int, Point]]] = {}
+        for node, pos in self.positions.items():
+            key = (math.floor(pos.x / cell), math.floor(pos.y / cell))
+            grid.setdefault(key, []).append((node, pos))
+        adjacency = self._adjacency
         limit_sq = self.radio_range * self.radio_range
-        for index, (node_a, pos_a) in enumerate(nodes):
-            for node_b, pos_b in nodes[index + 1:]:
-                dx = pos_a.x - pos_b.x
-                dy = pos_a.y - pos_b.y
-                if dx * dx + dy * dy <= limit_sq:
-                    self._adjacency[node_a].append(node_b)
-                    self._adjacency[node_b].append(node_a)
+        # Half-neighbourhood offsets: each unordered cell pair is visited
+        # exactly once; same-cell pairs are handled by the i<j inner loop.
+        half = ((1, 0), (0, 1), (1, 1), (-1, 1))
+        for (cx, cy), members in grid.items():
+            for index, (node_a, pos_a) in enumerate(members):
+                for node_b, pos_b in members[index + 1:]:
+                    dx = pos_a.x - pos_b.x
+                    dy = pos_a.y - pos_b.y
+                    if dx * dx + dy * dy <= limit_sq:
+                        adjacency[node_a].append(node_b)
+                        adjacency[node_b].append(node_a)
+            for ox, oy in half:
+                other = grid.get((cx + ox, cy + oy))
+                if other is None:
+                    continue
+                for node_a, pos_a in members:
+                    for node_b, pos_b in other:
+                        dx = pos_a.x - pos_b.x
+                        dy = pos_a.y - pos_b.y
+                        if dx * dx + dy * dy <= limit_sq:
+                            adjacency[node_a].append(node_b)
+                            adjacency[node_b].append(node_a)
+        # The naive all-pairs build emitted each neighbour list sorted by
+        # node insertion order; restore that order so BFS traversal (and
+        # therefore every routing/flood decision) is bit-identical.
+        order = {node: rank for rank, node in enumerate(self.positions)}
+        for neighbors in adjacency.values():
+            neighbors.sort(key=order.__getitem__)
+        self._neighbor_sets = {
+            node: frozenset(neighbors) for node, neighbors in adjacency.items()
+        }
 
     # ------------------------------------------------------------------
     # Queries
@@ -67,9 +123,59 @@ class TopologySnapshot:
         except KeyError:
             raise TopologyError(f"node {node!r} is not online in this snapshot") from None
 
+    def has_edge(self, node_a: int, node_b: int) -> bool:
+        """O(1) check whether a radio link ``node_a -- node_b`` exists.
+
+        Returns ``False`` (rather than raising) when either endpoint is
+        not online in this snapshot, so route-liveness scans need no
+        separate membership pass.
+        """
+        members = self._neighbor_sets.get(node_a)
+        return members is not None and node_b in members
+
     def degree(self, node: int) -> int:
         """Number of one-hop neighbours of ``node``."""
         return len(self.neighbors(node))
+
+    def _bfs_from(
+        self, source: int
+    ) -> Tuple[Dict[int, int], Dict[int, int], List[Tuple[int, int]], List[int]]:
+        """Full BFS tree from ``source``, computed once per snapshot."""
+        cached = self._bfs_cache.get(source)
+        if cached is not None:
+            return cached
+        # Level-synchronous BFS: same discovery order as a FIFO queue, but
+        # without per-node deque and depth-lookup overhead.
+        levels: Dict[int, int] = {source: 0}
+        parents: Dict[int, int] = {source: source}
+        adjacency = self._adjacency
+        frontier = [source]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: List[int] = []
+            for current in frontier:
+                for neighbor in adjacency[current]:
+                    if neighbor not in levels:
+                        levels[neighbor] = depth
+                        parents[neighbor] = current
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        items = list(levels.items())
+        # items is in nondecreasing-depth order; prefix[d] = |{depth <= d}|.
+        prefix: List[int] = []
+        for index, (_, depth) in enumerate(items):
+            while len(prefix) <= depth:
+                prefix.append(index)
+            prefix[depth] = index + 1
+        cached = (levels, parents, items, prefix)
+        self._bfs_cache[source] = cached
+        return cached
+
+    @property
+    def bfs_cache_size(self) -> int:
+        """Number of sources whose BFS tree is currently memoised."""
+        return len(self._bfs_cache)
 
     def shortest_path(self, source: int, target: int) -> Optional[List[int]]:
         """Hop-minimal path from ``source`` to ``target`` (inclusive).
@@ -83,18 +189,10 @@ class TopologySnapshot:
             return None
         if source == target:
             return [source]
-        parents: Dict[int, int] = {source: source}
-        queue = deque([source])
-        while queue:
-            current = queue.popleft()
-            for neighbor in self._adjacency[current]:
-                if neighbor in parents:
-                    continue
-                parents[neighbor] = current
-                if neighbor == target:
-                    return self._walk_back(parents, source, target)
-                queue.append(neighbor)
-        return None
+        levels, parents, _, _ = self._bfs_from(source)
+        if target not in levels:
+            return None
+        return self._walk_back(parents, source, target)
 
     @staticmethod
     def _walk_back(parents: Dict[int, int], source: int, target: int) -> List[int]:
@@ -108,31 +206,31 @@ class TopologySnapshot:
 
     def hop_distance(self, source: int, target: int) -> Optional[int]:
         """Number of hops on a shortest path, or ``None`` if unreachable."""
-        path = self.shortest_path(source, target)
-        if path is None:
+        if source not in self._adjacency:
+            raise TopologyError(f"source node {source!r} is not online")
+        if target not in self._adjacency:
             return None
-        return len(path) - 1
+        levels, _, _, _ = self._bfs_from(source)
+        return levels.get(target)
 
     def bfs_levels(self, source: int, max_depth: Optional[int] = None) -> Dict[int, int]:
         """Hop distance from ``source`` for every node within ``max_depth``.
 
         The source itself appears with depth 0.  This drives TTL-limited
-        flooding: nodes at depth ``d <= TTL`` hear the flood.
+        flooding: nodes at depth ``d <= TTL`` hear the flood.  The returned
+        dict preserves BFS discovery order and is a fresh copy the caller
+        may mutate.
         """
         if source not in self._adjacency:
             raise TopologyError(f"source node {source!r} is not online")
-        levels: Dict[int, int] = {source: 0}
-        queue = deque([source])
-        while queue:
-            current = queue.popleft()
-            depth = levels[current]
-            if max_depth is not None and depth >= max_depth:
-                continue
-            for neighbor in self._adjacency[current]:
-                if neighbor not in levels:
-                    levels[neighbor] = depth + 1
-                    queue.append(neighbor)
-        return levels
+        levels, _, items, prefix = self._bfs_from(source)
+        # items is in BFS discovery order, i.e. nondecreasing depth, so the
+        # depth limit selects a precomputed prefix of the traversal.
+        if max_depth is None or max_depth >= len(prefix) - 1:
+            return dict(levels)
+        if max_depth < 0:
+            max_depth = 0
+        return dict(items[: prefix[max_depth]])
 
     def connected_components(self) -> List[Set[int]]:
         """Partition of the online nodes into connected components."""
@@ -193,6 +291,7 @@ class TopologyService:
         self._cached: Optional[TopologySnapshot] = None
         self._cached_bucket: Optional[int] = None
         self.snapshots_built = 0
+        self.invalidations = 0
 
     def current(self) -> TopologySnapshot:
         """Return the snapshot for the current time bucket."""
@@ -213,3 +312,4 @@ class TopologyService:
         """Drop the cached snapshot (call after abrupt online/offline flips)."""
         self._cached = None
         self._cached_bucket = None
+        self.invalidations += 1

@@ -147,6 +147,9 @@ class MobileHost(NetworkNode):
         if online == self._online:
             return
         self._online = online
+        # Invalidate cached topology snapshots before any agent reaction:
+        # reconnect/disconnect handlers send traffic straight away.
+        self.notify_state_change()
         self.tracker.record_switch()
         if online:
             if self._went_offline_at is not None:

@@ -42,7 +42,7 @@ class EventHandle:
     :meth:`Simulator.schedule_at`; user code only cancels or inspects them.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_on_cancel")
 
     def __init__(
         self,
@@ -50,6 +50,7 @@ class EventHandle:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        on_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -57,6 +58,7 @@ class EventHandle:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._on_cancel = on_cancel
 
     def cancel(self) -> bool:
         """Cancel the event.
@@ -67,6 +69,8 @@ class EventHandle:
         if self.fired or self.cancelled:
             return False
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
         return True
 
     @property
@@ -98,6 +102,7 @@ class Simulator:
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._pending = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -115,8 +120,15 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting on the heap (including cancelled)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled events that have neither fired nor been cancelled.
+
+        Maintained as a live counter (adjusted on schedule, cancel and
+        fire), so reading it is O(1) rather than a scan of the heap.
+        """
+        return self._pending
+
+    def _note_cancel(self) -> None:
+        self._pending -= 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -137,8 +149,9 @@ class Simulator:
             )
         if not callable(callback):
             raise SchedulingError(f"callback must be callable, got {callback!r}")
-        event = EventHandle(time, next(self._seq), callback, args)
+        event = EventHandle(time, next(self._seq), callback, args, self._note_cancel)
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     # ------------------------------------------------------------------
@@ -156,6 +169,7 @@ class Simulator:
                 continue
             self._now = event.time
             event.fired = True
+            self._pending -= 1
             self._events_processed += 1
             event.callback(*event.args)
             return True
@@ -200,6 +214,7 @@ class Simulator:
                 heapq.heappop(self._heap)
                 self._now = head.time
                 head.fired = True
+                self._pending -= 1
                 self._events_processed += 1
                 head.callback(*head.args)
                 processed += 1

@@ -1,0 +1,105 @@
+"""Unit tests for the benchmark baseline tracking and regression gate."""
+
+import json
+
+import pytest
+
+from benchmarks.baseline import (
+    Comparison,
+    compare,
+    format_comparison,
+    has_regressions,
+    load_baseline,
+    main as baseline_main,
+    save_baseline,
+)
+from benchmarks.run_bench import kernel_benchmarks, measure
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        results = {"snapshot_build_1000": 0.004, "route_burst_1000": 0.012}
+        save_baseline(path, results, meta={"repeats": 5})
+        assert load_baseline(path) == results
+
+    def test_meta_recorded(self, tmp_path):
+        path = tmp_path / "bench.json"
+        save_baseline(path, {"a": 1.0}, meta={"repeats": 3})
+        data = json.loads(path.read_text())
+        assert data["meta"]["repeats"] == 3
+        assert "python" in data["meta"]
+
+    def test_results_sorted_for_stable_diffs(self, tmp_path):
+        path = tmp_path / "bench.json"
+        save_baseline(path, {"zeta": 1.0, "alpha": 2.0})
+        names = list(json.loads(path.read_text())["results"])
+        assert names == ["alpha", "zeta"]
+
+
+class TestCompare:
+    def test_within_threshold_is_ok(self):
+        rows = compare({"a": 1.2}, {"a": 1.0}, threshold=0.30)
+        assert [row.status for row in rows] == ["ok"]
+        assert not has_regressions(rows)
+
+    def test_beyond_threshold_regresses(self):
+        rows = compare({"a": 1.31}, {"a": 1.0}, threshold=0.30)
+        assert rows[0].status == "regressed"
+        assert has_regressions(rows)
+
+    def test_symmetric_speedup_reported_as_improved(self):
+        rows = compare({"a": 0.5}, {"a": 1.0}, threshold=0.30)
+        assert rows[0].status == "improved"
+        assert not has_regressions(rows)
+
+    def test_new_and_missing_benchmarks_never_fail(self):
+        rows = compare({"new_bench": 1.0}, {"old_bench": 1.0})
+        statuses = {row.name: row.status for row in rows}
+        assert statuses == {"new_bench": "new", "old_bench": "missing"}
+        assert not has_regressions(rows)
+
+    def test_ratio(self):
+        row = compare({"a": 2.0}, {"a": 1.0})[0]
+        assert row.ratio == pytest.approx(2.0)
+        assert Comparison("b", None, 1.0, "new").ratio is None
+
+    def test_format_mentions_every_row(self):
+        rows = compare({"a": 1.5, "b": 1.0}, {"a": 1.0, "b": 1.0})
+        text = format_comparison(rows)
+        assert "regressed" in text and "ok" in text
+        assert "1.50x" in text
+
+
+class TestBaselineCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        save_baseline(base, {"a": 1.0})
+        save_baseline(good, {"a": 1.1})
+        save_baseline(bad, {"a": 2.0})
+        assert baseline_main([str(base), str(good)]) == 0
+        assert baseline_main([str(base), str(bad)]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+
+class TestRunBench:
+    def test_measure_returns_positive_seconds(self):
+        assert measure(lambda: sum(range(100)), repeats=2) > 0.0
+
+    def test_kernel_benchmark_names_match_committed_baseline(self):
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_kernel.json"
+        )
+        committed = set(load_baseline(baseline_path))
+        defined = {name for name, _ in kernel_benchmarks()}
+        assert defined == committed
+
+    def test_every_benchmark_callable_runs(self):
+        for name, fn in kernel_benchmarks():
+            fn()  # one iteration each: smoke, not timing

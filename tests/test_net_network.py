@@ -33,6 +33,7 @@ class StubNode(NetworkNode):
 
     def set_online(self, flag):
         self._online = flag
+        self.notify_state_change()  # what MobileHost.set_online does
 
     def current_position(self):
         return self._point
@@ -152,6 +153,45 @@ class TestUnicast:
     def test_route_hops_partitioned(self):
         _, net, _, _ = make_net([(0, 0), (1000, 0)])
         assert net.route_hops(0, 1) is None
+
+
+class TestTopologyInvalidation:
+    """Online/offline flips must drop the cached snapshot mid-quantum."""
+
+    def test_offline_flip_invalidates_cached_snapshot(self):
+        sim, net, nodes, _ = make_net(LINE4)
+        before = net.snapshot()
+        nodes[1].set_online(False)
+        after = net.snapshot()
+        assert after is not before
+        assert 1 not in after
+
+    def test_unicast_does_not_route_through_fresh_offline_relay(self):
+        # Same quantum, no manual invalidate: the registration hook alone
+        # must keep the route off the node that just went offline.
+        sim, net, nodes, _ = make_net(LINE4)
+        assert net.unicast(0, 2, Message(sender=0))  # caches the snapshot
+        nodes[1].set_online(False)
+        assert not net.unicast(0, 2, Message(sender=0))
+        assert nodes[1].receives == 1  # only the pre-flip unicast touched it
+
+    def test_reconnect_flip_restores_reachability(self):
+        sim, net, nodes, _ = make_net(LINE4)
+        nodes[1].set_online(False)
+        assert not net.unicast(0, 2, Message(sender=0))
+        nodes[1].set_online(True)
+        assert net.unicast(0, 2, Message(sender=0))
+
+    def test_unregistered_node_flip_is_harmless(self):
+        node = StubNode(7, Point(0, 0))
+        node.set_online(False)  # no listener bound: must not raise
+        assert not node.online
+
+    def test_flip_counts_one_invalidation(self):
+        sim, net, nodes, _ = make_net(LINE4)
+        invalidations = net.topology.invalidations
+        nodes[3].set_online(False)
+        assert net.topology.invalidations == invalidations + 1
 
 
 class TestFlood:

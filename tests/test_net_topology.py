@@ -1,5 +1,8 @@
 """Unit tests for the disc-model connectivity graph."""
 
+import random
+from collections import deque
+
 import pytest
 
 from repro.errors import TopologyError
@@ -10,6 +13,37 @@ from repro.net.topology import TopologySnapshot, TopologyService
 def snapshot_of(coords, radio_range=150.0):
     positions = {i: Point(x, y) for i, (x, y) in enumerate(coords)}
     return TopologySnapshot(positions, radio_range)
+
+
+def brute_force_adjacency(positions, radio_range):
+    """The seed O(N^2) all-pairs build the spatial grid must reproduce."""
+    adjacency = {node: [] for node in positions}
+    nodes = list(positions.items())
+    limit_sq = radio_range * radio_range
+    for index, (node_a, pos_a) in enumerate(nodes):
+        for node_b, pos_b in nodes[index + 1:]:
+            dx = pos_a.x - pos_b.x
+            dy = pos_a.y - pos_b.y
+            if dx * dx + dy * dy <= limit_sq:
+                adjacency[node_a].append(node_b)
+                adjacency[node_b].append(node_a)
+    return adjacency
+
+
+def fresh_bfs_levels(snapshot, source, max_depth=None):
+    """The seed per-call depth-limited BFS memoisation must reproduce."""
+    levels = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        depth = levels[current]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in snapshot.neighbors(current):
+            if neighbor not in levels:
+                levels[neighbor] = depth + 1
+                queue.append(neighbor)
+    return levels
 
 
 class TestTopologySnapshot:
@@ -82,6 +116,156 @@ class TestTopologySnapshot:
 
     def test_nodes_property(self):
         assert snapshot_of([(0, 0), (1, 1)]).nodes == {0, 1}
+
+
+class TestGridEquivalence:
+    """The spatial-hash build must be indistinguishable from brute force."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("count,side,radio_range", [
+        (25, 500.0, 150.0),     # dense: most pairs in range
+        (60, 1500.0, 150.0),    # paper-like density
+        (60, 1500.0, 250.0),    # Table-1 range
+        (120, 4000.0, 100.0),   # sparse, many isolated nodes
+    ])
+    def test_randomized_matches_brute_force(self, seed, count, side, radio_range):
+        rng = random.Random(seed)
+        positions = {
+            i: Point(rng.uniform(0, side), rng.uniform(0, side))
+            for i in range(count)
+        }
+        snap = TopologySnapshot(positions, radio_range)
+        expected = brute_force_adjacency(positions, radio_range)
+        for node in positions:
+            assert snap.neighbors(node) == expected[node]
+
+    def test_negative_coordinates(self):
+        rng = random.Random(99)
+        positions = {
+            i: Point(rng.uniform(-800, 800), rng.uniform(-800, 800))
+            for i in range(50)
+        }
+        snap = TopologySnapshot(positions, 200.0)
+        expected = brute_force_adjacency(positions, 200.0)
+        for node in positions:
+            assert snap.neighbors(node) == expected[node]
+
+    def test_boundary_distance_pairs(self):
+        # Exact-range pairs straddling grid cells in every direction.
+        r = 150.0
+        snap = snapshot_of([(0, 0), (r, 0), (0, r), (-r, 0), (0, -r)], r)
+        assert snap.neighbors(0) == [1, 2, 3, 4]
+        assert snap.neighbors(1) == [0]
+
+    def test_just_beyond_boundary_excluded(self):
+        snap = snapshot_of([(0, 0), (150.0000001, 0)], 150.0)
+        assert snap.neighbors(0) == []
+
+    def test_coincident_nodes_are_neighbors(self):
+        snap = snapshot_of([(10, 10), (10, 10), (10, 10)], 150.0)
+        assert snap.neighbors(0) == [1, 2]
+        assert snap.edge_count() == 3
+
+    def test_empty_snapshot(self):
+        snap = TopologySnapshot({}, 150.0)
+        assert snap.nodes == set()
+        assert snap.edge_count() == 0
+
+    def test_single_node(self):
+        snap = snapshot_of([(5, 5)])
+        assert snap.neighbors(0) == []
+        assert snap.shortest_path(0, 0) == [0]
+
+    def test_nonpositive_radio_range_direct_construction(self):
+        # Only coincident nodes connect when the disc has zero radius.
+        snap = TopologySnapshot({0: Point(0, 0), 1: Point(0, 0), 2: Point(1, 0)}, 0.0)
+        assert snap.neighbors(0) == [1]
+        assert snap.neighbors(2) == []
+
+
+class TestBFSMemoization:
+    """Memoised BFS answers must equal fresh per-call traversals."""
+
+    def random_snapshot(self, seed, count=60, side=1500.0, radio_range=250.0):
+        rng = random.Random(seed)
+        positions = {
+            i: Point(rng.uniform(0, side), rng.uniform(0, side))
+            for i in range(count)
+        }
+        return TopologySnapshot(positions, radio_range)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bfs_levels_match_fresh_bfs(self, seed):
+        snap = self.random_snapshot(seed)
+        for source in (0, 17, 42):
+            for max_depth in (None, 0, 1, 3, 8):
+                memoized = snap.bfs_levels(source, max_depth=max_depth)
+                fresh = fresh_bfs_levels(snap, source, max_depth=max_depth)
+                assert memoized == fresh
+                # Flood scheduling iterates this dict: order matters too.
+                assert list(memoized) == list(fresh)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_shortest_path_consistent_with_levels(self, seed):
+        snap = self.random_snapshot(seed)
+        levels = fresh_bfs_levels(snap, 0)
+        for target in snap.nodes:
+            path = snap.shortest_path(0, target)
+            if target in levels:
+                assert path[0] == 0 and path[-1] == target
+                assert len(path) - 1 == levels[target]
+                for hop_a, hop_b in zip(path, path[1:]):
+                    assert snap.has_edge(hop_a, hop_b)
+            else:
+                assert path is None
+
+    def test_repeated_queries_reuse_cache(self):
+        snap = self.random_snapshot(1)
+        first = snap.shortest_path(0, 42)
+        assert snap.bfs_cache_size == 1
+        assert snap.shortest_path(0, 42) == first
+        snap.bfs_levels(0, max_depth=3)
+        assert snap.bfs_cache_size == 1  # same source, same tree
+        snap.hop_distance(0, 17)
+        assert snap.bfs_cache_size == 1
+
+    def test_returned_levels_are_copies(self):
+        snap = snapshot_of([(0, 0), (100, 0), (200, 0)])
+        levels = snap.bfs_levels(0)
+        levels[99] = 99  # caller mutation must not poison the cache
+        assert 99 not in snap.bfs_levels(0)
+
+    def test_hop_distance_raises_for_offline_source(self):
+        snap = snapshot_of([(0, 0)])
+        with pytest.raises(TopologyError):
+            snap.hop_distance(42, 0)
+
+
+class TestHasEdge:
+    def test_symmetric(self):
+        snap = snapshot_of([(0, 0), (100, 0), (400, 0)])
+        assert snap.has_edge(0, 1) and snap.has_edge(1, 0)
+        assert not snap.has_edge(0, 2)
+
+    def test_offline_endpoint_is_false_not_error(self):
+        snap = snapshot_of([(0, 0), (100, 0)])
+        assert not snap.has_edge(0, 99)
+        assert not snap.has_edge(99, 0)
+
+    def test_no_self_edges(self):
+        snap = snapshot_of([(0, 0), (100, 0)])
+        assert not snap.has_edge(0, 0)
+
+    def test_matches_neighbor_lists(self):
+        rng = random.Random(5)
+        positions = {
+            i: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for i in range(40)
+        }
+        snap = TopologySnapshot(positions, 200.0)
+        for a in positions:
+            neighbors = set(snap.neighbors(a))
+            for b in positions:
+                assert snap.has_edge(a, b) == (b in neighbors)
 
 
 class TestTopologyService:

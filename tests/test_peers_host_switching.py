@@ -118,6 +118,37 @@ class TestMobileHost:
         # only one real flip happened
         assert host.tracker.psr == pytest.approx(1 * 0.8)
 
+    def test_set_online_invalidates_registered_network(self, sim):
+        from repro.net.network import Network
+
+        network = Network(sim, radio_range=150.0)
+        host = make_host(sim)
+        network.register(host)
+        cached = network.snapshot()
+        host.set_online(False)
+        fresh = network.snapshot()
+        assert fresh is not cached
+        assert host.node_id not in fresh
+
+    def test_set_online_notifies_before_agent_reacts(self, sim):
+        # A reconnect handler that sends immediately must see a topology
+        # that already includes this host.
+        from repro.net.network import Network
+
+        network = Network(sim, radio_range=150.0)
+        host = make_host(sim)
+        network.register(host)
+        seen = []
+
+        class ProbeAgent(RecordingAgent):
+            def on_reconnect(self):
+                seen.append(host.node_id in network.snapshot())
+
+        host.agent = ProbeAgent()
+        host.set_online(False)
+        host.set_online(True)
+        assert seen == [True]
+
     def test_offline_time_accounted(self, sim):
         host = make_host(sim)
         sim.run_until(10.0)

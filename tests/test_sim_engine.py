@@ -178,3 +178,51 @@ class TestCancellation:
         sim.schedule(1.0, later.cancel)
         sim.run()
         assert fired == []
+
+
+class TestPendingCounter:
+    """pending_events is a live O(1) counter, not a heap scan."""
+
+    def test_tracks_schedule_cancel_fire(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        handles[0].cancel()
+        handles[1].cancel()
+        assert sim.pending_events == 3
+        sim.step()
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_double_cancel_decrements_once(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_does_not_decrement(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_during_run_stays_consistent(self, sim):
+        later = sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_reschedule_chain_stays_consistent(self, sim):
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert sim.pending_events == 0
+        assert count[0] == 100
