@@ -12,11 +12,13 @@ results are cached per session and computed at most once.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Tuple
 
 import pytest
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import CampaignExecutor
 from repro.experiments.figures.base import run_axis_sweep
 from repro.experiments.runner import STRATEGY_SPECS, SimulationResult
 
@@ -30,12 +32,19 @@ def bench_config(**kwargs) -> SimulationConfig:
 
 _SWEEP_CACHE: Dict[Tuple, Dict] = {}
 
+#: The executor behind every figure benchmark.  Serial and uncached by
+#: default so timings stay honest; export ``REPRO_BENCH_JOBS=N`` to fan
+#: the sweeps out on a multicore box (results are bit-identical).
+_BENCH_EXECUTOR = CampaignExecutor(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
 
 def cached_axis_sweep(axis: str, values: tuple, specs: tuple = STRATEGY_SPECS):
     """Run (or reuse) the sweep shared by the Fig 7 / Fig 8 panels."""
     key = (axis, values, specs)
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = run_axis_sweep(bench_config(), axis, values, specs)
+        _SWEEP_CACHE[key] = run_axis_sweep(
+            bench_config(), axis, values, specs, executor=_BENCH_EXECUTOR
+        )
     return _SWEEP_CACHE[key]
 
 

@@ -1,16 +1,25 @@
-"""Kernel benchmark entry point with a committed-baseline regression gate.
+"""Benchmark entry point with a committed-baseline regression gate.
 
-Runs the same fast-path workloads as ``bench_kernel.py`` (event kernel,
-spatial-grid snapshot build, memoised BFS bursts, ``has_edge``) without
-needing pytest, writes the measurements to ``BENCH_kernel.json`` and
-compares them against the committed baseline next to this file::
+Two suites, each gated against its own committed baseline next to this
+file:
 
-    PYTHONPATH=src python benchmarks/run_bench.py            # measure + gate
-    PYTHONPATH=src python benchmarks/run_bench.py --update   # rewrite baseline
+* ``kernel`` — the fast-path workloads of ``bench_kernel.py`` (event
+  kernel, spatial-grid snapshot build, memoised BFS bursts, ``has_edge``),
+  gated against ``BENCH_kernel.json``;
+* ``sweep`` — the campaign executor of ``bench_sweep.py`` (serial vs
+  two-worker vs cache-warm runs of a scaled Fig-7-style sweep), gated
+  against ``BENCH_sweep.json``; the parallel and cache-hit speedups are
+  printed and recorded in the result metadata.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # all suites
+    PYTHONPATH=src python benchmarks/run_bench.py --suite sweep   # one suite
+    PYTHONPATH=src python benchmarks/run_bench.py --update        # new baselines
 
 Exits nonzero when any benchmark is more than ``--threshold`` (default
-30%) slower than the committed baseline, so CI catches hot-path
-regressions before they show up as hour-long figure runs.
+30%) slower than its committed baseline, so CI catches hot-path and
+campaign-layer regressions before they show up as hour-long figure runs.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ import math
 import pathlib
 import random
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -40,7 +50,11 @@ from repro.mobility.waypoint import RandomWaypoint  # noqa: E402
 from repro.net.topology import TopologySnapshot  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
-BASELINE_PATH = BENCH_DIR / "BENCH_kernel.json"
+SUITES = ("kernel", "sweep")
+
+#: Timing repetitions per suite (the best is kept).  The sweep campaign
+#: is seconds-per-iteration, so it repeats less than the ms-scale kernels.
+SUITE_REPEATS = {"kernel": 5, "sweep": 2}
 
 
 def _scaled_positions(count: int, seed: int = 3):
@@ -122,6 +136,19 @@ def kernel_benchmarks() -> List[Tuple[str, Callable[[], None]]]:
     ]
 
 
+def suite_benchmarks(
+    suite: str, workdir: str
+) -> List[Tuple[str, Callable[[], None]]]:
+    """The gated benchmarks of one suite (``workdir`` holds scratch state)."""
+    if suite == "kernel":
+        return kernel_benchmarks()
+    if suite == "sweep":
+        from benchmarks.bench_sweep import sweep_benchmarks
+
+        return sweep_benchmarks(workdir)
+    raise ValueError(f"unknown suite {suite!r}")
+
+
 def measure(fn: Callable[[], None], repeats: int) -> float:
     """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
     fn()  # warm up (and populate any per-process caches)
@@ -133,59 +160,96 @@ def measure(fn: Callable[[], None], repeats: int) -> float:
     return best
 
 
-def run_all(repeats: int = 5, verbose: bool = True) -> Dict[str, float]:
-    """Measure every kernel benchmark; returns ``{name: seconds}``."""
+def run_all(
+    benchmarks: Sequence[Tuple[str, Callable[[], None]]],
+    repeats: int = 5,
+    verbose: bool = True,
+) -> Dict[str, float]:
+    """Measure every benchmark of one suite; returns ``{name: seconds}``."""
     results: Dict[str, float] = {}
-    for name, fn in kernel_benchmarks():
+    for name, fn in benchmarks:
         results[name] = measure(fn, repeats)
         if verbose:
             print(f"  {name:<24} {results[name] * 1e3:10.3f} ms")
     return results
 
 
+def sweep_speedups(results: Dict[str, float]) -> Dict[str, float]:
+    """Derive the parallel and cache-hit speedups from sweep timings."""
+    serial = results.get("sweep_serial_6runs")
+    speedups: Dict[str, float] = {}
+    if not serial:
+        return speedups
+    jobs2 = results.get("sweep_jobs2_6runs")
+    warm = results.get("sweep_cache_warm_6runs")
+    if jobs2:
+        speedups["parallel_speedup_jobs2"] = serial / jobs2
+    if warm:
+        speedups["cache_hit_speedup"] = serial / warm
+    return speedups
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--baseline", default=str(BASELINE_PATH),
-        help="committed baseline to gate against (default benchmarks/BENCH_kernel.json)",
+        "--suite", choices=SUITES + ("all",), default="all",
+        help="which benchmark suite to run (default all)",
     )
     parser.add_argument(
-        "--output", default="BENCH_kernel.json",
-        help="where to write the fresh measurements (default ./BENCH_kernel.json; "
-        "the committed baseline is only rewritten with --update)",
+        "--baseline-dir", default=str(BENCH_DIR),
+        help="directory of the committed BENCH_<suite>.json baselines",
+    )
+    parser.add_argument(
+        "--output-dir", default=".",
+        help="where to write fresh BENCH_<suite>.json measurements "
+        "(committed baselines are only rewritten with --update)",
     )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="fractional slowdown that fails the gate (default 0.30)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=5,
-        help="timing repetitions per benchmark; the best is kept",
+        "--repeats", type=int, default=None,
+        help="override the per-suite timing repetitions (kernel 5, sweep 2)",
     )
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the baseline from this run instead of gating against it",
+        help="rewrite the baselines from this run instead of gating against them",
     )
     args = parser.parse_args(argv)
+    suites = SUITES if args.suite == "all" else (args.suite,)
 
-    print("running kernel benchmarks:")
-    results = run_all(repeats=args.repeats)
+    failed = False
+    for suite in suites:
+        repeats = args.repeats if args.repeats is not None else SUITE_REPEATS[suite]
+        print(f"running {suite} benchmarks:")
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
+            results = run_all(suite_benchmarks(suite, workdir), repeats=repeats)
+        meta: Dict[str, object] = {"repeats": repeats}
+        if suite == "sweep":
+            for name, value in sweep_speedups(results).items():
+                meta[name] = round(value, 3)
+                print(f"  {name:<24} {value:10.2f}x")
 
-    baseline_path = pathlib.Path(args.baseline)
-    if args.update or not baseline_path.exists():
-        save_baseline(baseline_path, results, meta={"repeats": args.repeats})
-        print(f"baseline written to {baseline_path}")
-        return 0
+        baseline_path = pathlib.Path(args.baseline_dir) / f"BENCH_{suite}.json"
+        output_path = pathlib.Path(args.output_dir) / f"BENCH_{suite}.json"
+        if args.update or not baseline_path.exists():
+            save_baseline(baseline_path, results, meta=meta)
+            print(f"baseline written to {baseline_path}\n")
+            continue
 
-    rows = compare(results, load_baseline(baseline_path), args.threshold)
-    save_baseline(args.output, results, meta={"repeats": args.repeats})
-    print()
-    print(format_comparison(rows))
-    if has_regressions(rows):
-        print(f"\nFAIL: regression beyond {args.threshold:.0%} of baseline", file=sys.stderr)
-        return 1
-    print("\nOK: within threshold of committed baseline")
-    return 0
+        rows = compare(results, load_baseline(baseline_path), args.threshold)
+        save_baseline(output_path, results, meta=meta)
+        print()
+        print(format_comparison(rows))
+        if has_regressions(rows):
+            print(f"\nFAIL: {suite} regression beyond {args.threshold:.0%} "
+                  "of baseline", file=sys.stderr)
+            failed = True
+        else:
+            print(f"\nOK: {suite} within threshold of committed baseline")
+        print()
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,6 +1,12 @@
-"""Collect paper-scale reproduction numbers for EXPERIMENTS.md."""
-import json, time
-from repro.experiments import SimulationConfig
+"""Collect paper-scale reproduction numbers for EXPERIMENTS.md.
+
+Runs go through the campaign executor: ``REPRO_JOBS=N`` fans them out
+over N worker processes (bit-identical results), and the content-
+addressed cache under ``results/.cache`` makes an interrupted collection
+resumable — already-finished points are read back instead of re-run.
+"""
+import json, os, time
+from repro.experiments import CampaignExecutor, ResultCache, SimulationConfig
 from repro.experiments.figures.base import run_axis_sweep
 from repro.experiments.figures.fig7 import UPDATE_INTERVALS, QUERY_INTERVALS, CACHE_NUMBERS
 from repro.experiments.figures.fig9 import run_fig9
@@ -9,6 +15,10 @@ from repro.experiments.runner import STRATEGY_SPECS
 t0 = time.time()
 config = SimulationConfig(sim_time=1800.0, warmup=600.0, seed=1)
 out = {"config": {"sim_time": 1800.0, "warmup": 600.0}}
+executor = CampaignExecutor(
+    jobs=int(os.environ.get("REPRO_JOBS", "1")),
+    cache=ResultCache("/root/repo/results/.cache"),
+)
 
 def pack(result):
     s = result.summary
@@ -24,7 +34,7 @@ for axis, values, key in (
     ("query_interval", QUERY_INTERVALS, "fig7b"),
     ("cache_num", tuple(CACHE_NUMBERS), "fig7c"),
 ):
-    results = run_axis_sweep(config, axis, values, STRATEGY_SPECS)
+    results = run_axis_sweep(config, axis, values, STRATEGY_SPECS, executor=executor)
     out[key] = {
         f"{spec}@{value}": pack(result) for (spec, value), result in results.items()
     }
@@ -32,7 +42,7 @@ for axis, values, key in (
 
 fig9_runs = {}
 for seed in (1, 2, 3):
-    payload = run_fig9(config.with_overrides(seed=seed))
+    payload = run_fig9(config.with_overrides(seed=seed), executor=executor)
     fig9_runs[seed] = {
         **{f"rpcc@{ttl}": pack(result) for ttl, result in payload["rpcc"].items()},
         "push": pack(payload["push"]),

@@ -4,12 +4,17 @@ Usage::
 
     python -m repro --sim-time 900 --seed 3 run rpcc-sc
     python -m repro table1
-    python -m repro --sim-time 600 fig7a --plot --csv fig7a.csv
+    python -m repro --sim-time 600 --jobs 4 fig7a --plot --csv fig7a.csv
     python -m repro --sim-time 600 fig9 --ttls 1 3 7
-    python -m repro --sim-time 600 compare
+    python -m repro --sim-time 600 --no-cache compare
 
 Every command accepts ``--sim-time``/``--warmup``/``--seed`` so the
 paper-scale five-hour runs and quick smoke runs use the same entry point.
+``--jobs N`` fans independent runs out over N worker processes with
+bit-identical results; finished runs land in a content-addressed cache
+(``results/.cache/`` unless ``--cache-dir`` moves it), so ``fig8a`` after
+``fig7a`` re-reads the shared sweep instead of re-simulating it.  Disable
+with ``--no-cache``; purge by deleting the cache directory.
 """
 
 from __future__ import annotations
@@ -19,6 +24,11 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import (
+    DEFAULT_CACHE_DIR,
+    CampaignExecutor,
+    ResultCache,
+)
 from repro.experiments.figures import (
     CACHE_NUMBERS,
     QUERY_INTERVALS,
@@ -35,7 +45,7 @@ from repro.experiments.figures import (
     run_fig9,
 )
 from repro.experiments.figures.base import run_axis_sweep
-from repro.experiments.runner import STRATEGY_SPECS, run_simulation
+from repro.experiments.runner import STRATEGY_SPECS
 from repro.metrics.report import format_summary, format_table
 
 __all__ = ["main", "build_parser"]
@@ -62,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warmup", type=float, default=600.0,
                         help="warm-up seconds excluded from metrics")
     parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent runs "
+                        "(1 = serial; results are bit-identical either way)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="where cached results live "
+                        f"(default {DEFAULT_CACHE_DIR}; delete to purge)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one simulation")
@@ -100,8 +118,20 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
     )
 
 
-def _command_run(args: argparse.Namespace) -> None:
-    result = run_simulation(_config(args), args.spec, args.scenario)
+def _executor(args: argparse.Namespace) -> CampaignExecutor:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return CampaignExecutor(jobs=args.jobs, cache=cache)
+
+
+def _report_cache(executor: CampaignExecutor) -> None:
+    cache = executor.cache
+    if cache is not None and (cache.hits or cache.misses):
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root}); {executor.runs_executed} runs simulated")
+
+
+def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
+    result = executor.run_one(_config(args), args.spec, args.scenario)
     print(format_summary(result.summary, title=f"{args.spec} ({args.scenario})"))
     if result.relay_samples:
         print(f"\nmean relay population: {result.mean_relay_count:.1f}")
@@ -115,10 +145,11 @@ def _command_table1(args: argparse.Namespace) -> None:
                        title="Table 1. Simulation Parameters"))
 
 
-def _command_compare(args: argparse.Namespace) -> None:
+def _command_compare(args: argparse.Namespace, executor: CampaignExecutor) -> None:
+    config = _config(args)
+    results = executor.run_many([(config, spec, "standard") for spec in STRATEGY_SPECS])
     rows = []
-    for spec in STRATEGY_SPECS:
-        result = run_simulation(_config(args), spec)
+    for spec, result in zip(STRATEGY_SPECS, results):
         summary = result.summary
         rows.append((
             spec,
@@ -134,10 +165,10 @@ def _command_compare(args: argparse.Namespace) -> None:
     ))
 
 
-def _command_figure(args: argparse.Namespace) -> None:
+def _command_figure(args: argparse.Namespace, executor: CampaignExecutor) -> None:
     axis, values, builder, log_y = _FIGURES[args.command]
     config = _config(args)
-    results = run_axis_sweep(config, axis, values, STRATEGY_SPECS)
+    results = run_axis_sweep(config, axis, values, STRATEGY_SPECS, executor=executor)
     figure = builder(config, STRATEGY_SPECS, values, results)
     print(figure.format())
     if args.plot:
@@ -148,8 +179,8 @@ def _command_figure(args: argparse.Namespace) -> None:
         print(f"wrote {args.csv}")
 
 
-def _command_fig9(args: argparse.Namespace) -> None:
-    payload = run_fig9(_config(args), tuple(args.ttls))
+def _command_fig9(args: argparse.Namespace, executor: CampaignExecutor) -> None:
+    payload = run_fig9(_config(args), tuple(args.ttls), executor=executor)
     for builder, log_y, suffix in ((fig9a, False, "a"), (fig9b, True, "b")):
         figure = builder(_config(args), tuple(args.ttls), payload)
         print(figure.format())
@@ -163,7 +194,7 @@ def _command_fig9(args: argparse.Namespace) -> None:
         print()
 
 
-def _command_all(args: argparse.Namespace) -> None:
+def _command_all(args: argparse.Namespace, executor: CampaignExecutor) -> None:
     import os
 
     os.makedirs(args.out, exist_ok=True)
@@ -176,7 +207,7 @@ def _command_all(args: argparse.Namespace) -> None:
         "cache_num": tuple(CACHE_NUMBERS),
     }
     cached = {
-        axis: run_axis_sweep(config, axis, values, STRATEGY_SPECS)
+        axis: run_axis_sweep(config, axis, values, STRATEGY_SPECS, executor=executor)
         for axis, values in sweeps.items()
     }
     for name, (axis, values, builder, _) in _FIGURES.items():
@@ -187,7 +218,7 @@ def _command_all(args: argparse.Namespace) -> None:
         figure.save_csv(target)
         print(f"wrote {target}")
         print()
-    payload = run_fig9(config, TTL_VALUES)
+    payload = run_fig9(config, TTL_VALUES, executor=executor)
     for builder, suffix in ((fig9a, "fig9a"), (fig9b, "fig9b")):
         figure = builder(config, TTL_VALUES, payload)
         print(figure.format())
@@ -200,18 +231,21 @@ def _command_all(args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        _command_run(args)
-    elif args.command == "table1":
+    if args.command == "table1":
         _command_table1(args)
+        return 0
+    executor = _executor(args)
+    if args.command == "run":
+        _command_run(args, executor)
     elif args.command == "compare":
-        _command_compare(args)
+        _command_compare(args, executor)
     elif args.command == "fig9":
-        _command_fig9(args)
+        _command_fig9(args, executor)
     elif args.command == "all":
-        _command_all(args)
+        _command_all(args, executor)
     else:
-        _command_figure(args)
+        _command_figure(args, executor)
+    _report_cache(executor)
     return 0
 
 

@@ -2,6 +2,12 @@
 
 from repro.experiments.analysis import TrafficSplit, rpcc_traffic_split
 from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import (
+    CampaignExecutor,
+    CampaignRunError,
+    ResultCache,
+    run_key,
+)
 from repro.experiments.runner import (
     STRATEGY_SPECS,
     Simulation,
@@ -29,4 +35,8 @@ __all__ = [
     "summarize_metric",
     "TrafficSplit",
     "rpcc_traffic_split",
+    "CampaignExecutor",
+    "CampaignRunError",
+    "ResultCache",
+    "run_key",
 ]

@@ -1,0 +1,282 @@
+"""Campaign execution: parallel run fan-out plus a content-addressed cache.
+
+A figure-scale campaign (six strategy curves x several axis points x
+multi-seed replication) is embarrassingly parallel: every run is
+independently seeded via ``RandomStreams(config.seed)``, so runs share no
+state and can execute in any order — or concurrently — with bit-identical
+results.  :class:`CampaignExecutor` exploits exactly that: it fans a list
+of ``(config, spec, scenario)`` tasks out over a ``ProcessPoolExecutor``
+(``jobs > 1``) or runs them inline (``jobs == 1``, the default, which
+preserves historical behaviour byte for byte).
+
+Underneath sits :class:`ResultCache`, a content-addressed on-disk store:
+the cache key is a stable hash of every ``SimulationConfig`` field plus
+the spec, the scenario and a cache-format version.  Fig 7 and Fig 8 read
+different metrics of the *same* sweeps, so ``fig7a`` followed by
+``fig8a`` is a full cache hit for the second command, and re-running a
+figure after an unrelated code change costs no simulation time.  Purge
+with :meth:`ResultCache.purge` (or ``rm -r results/.cache``) whenever a
+code change alters simulation semantics without bumping
+:data:`CACHE_FORMAT_VERSION`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import traceback
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import SimulationResult, run_simulation
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CampaignExecutor",
+    "CampaignRunError",
+    "ResultCache",
+    "run_key",
+]
+
+#: Bump whenever a change alters what a cached result means (new metrics,
+#: changed simulation semantics, different pickle layout): old entries
+#: then miss instead of resurfacing stale numbers.
+CACHE_FORMAT_VERSION = 1
+
+#: Where the CLI keeps its cache unless told otherwise.
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+#: One unit of campaign work.
+RunTask = Tuple[SimulationConfig, str, str]
+
+
+def run_key(config: SimulationConfig, spec: str, scenario: str = "standard") -> str:
+    """Content address of one run: hash of everything that determines it.
+
+    Every dataclass field of ``config`` (including nested thresholds)
+    participates, so any parameter change — seed included — yields a new
+    key, while re-constructing an equal config hits the same entry.
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "config": asdict(config),
+        "spec": spec.strip().lower(),
+        "scenario": scenario,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of pickled :class:`SimulationResult`s.
+
+    One file per run under ``root`` (``<key>.pkl``); writes are atomic
+    (temp file + rename) so a crashed run never leaves a half-written
+    entry, and unreadable entries are treated as misses and deleted.
+    """
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+            result = pickle.loads(blob)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated or stale-format entry: drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` (atomic, last writer wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(result))
+        os.replace(tmp, path)
+
+    def purge(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.pkl"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+class CampaignRunError(SimulationError):
+    """One run of a campaign failed; carries enough context to reproduce it.
+
+    The executor raises this instead of letting a worker traceback
+    propagate half-decoded (or, worse, letting a dead worker hang the
+    pool): it names the ``(spec, scenario)`` point, keeps the exact
+    ``config``, and embeds the worker's formatted traceback.
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        scenario: str,
+        config: SimulationConfig,
+        worker_traceback: str,
+    ) -> None:
+        self.spec = spec
+        self.scenario = scenario
+        self.config = config
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"campaign run failed: spec={spec!r} scenario={scenario!r} "
+            f"seed={config.seed} — worker traceback:\n{worker_traceback}"
+        )
+
+
+def _execute_task(task: RunTask) -> Tuple[str, object]:
+    """Worker body: run one simulation, never let an exception escape raw.
+
+    Returns ``("ok", result)`` or ``("error", formatted_traceback)`` so
+    the parent can re-raise with the task's config attached; raising the
+    original exception across the process boundary would require it to
+    pickle, which arbitrary third-party exceptions need not.
+    """
+    config, spec, scenario = task
+    try:
+        return "ok", run_simulation(config, spec, scenario)
+    except Exception:
+        return "error", traceback.format_exc()
+
+
+class CampaignExecutor:
+    """Run batches of independent simulation tasks, cached and in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs inline with no pool, so
+        default behaviour is identical to the historical serial loops.
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables caching.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
+        self.jobs = jobs
+        self.cache = cache
+        #: Simulations actually executed (cache hits excluded).
+        self.runs_executed = 0
+
+    # ------------------------------------------------------------------
+    def run_one(
+        self,
+        config: SimulationConfig,
+        spec: str,
+        scenario: str = "standard",
+    ) -> SimulationResult:
+        """Run (or fetch) a single simulation."""
+        return self.run_many([(config, spec, scenario)])[0]
+
+    def run_many(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:
+        """Run every task, returning results in task order.
+
+        Identical tasks (same content address) are executed once and
+        share their result; cached tasks are served without simulating.
+        Parallel execution is bit-identical to serial because every run
+        is a pure function of its ``(config, spec, scenario)`` triple.
+        """
+        keys = [run_key(config, spec, scenario) for config, spec, scenario in tasks]
+        unique: Dict[str, RunTask] = {}
+        for key, task in zip(keys, tasks):
+            unique.setdefault(key, task)
+
+        resolved: Dict[str, SimulationResult] = {}
+        if self.cache is not None:
+            for key in unique:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    resolved[key] = hit
+        pending = [(key, task) for key, task in unique.items() if key not in resolved]
+
+        if self.jobs == 1 or len(pending) <= 1:
+            fresh = self._run_serial(pending)
+        else:
+            fresh = self._run_parallel(pending)
+        self.runs_executed += len(fresh)
+        if self.cache is not None:
+            for key, result in fresh.items():
+                self.cache.put(key, result)
+        resolved.update(fresh)
+        return [resolved[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, pending: Sequence[Tuple[str, RunTask]]
+    ) -> Dict[str, SimulationResult]:
+        fresh: Dict[str, SimulationResult] = {}
+        for key, task in pending:
+            status, payload = _execute_task(task)
+            if status == "error":
+                config, spec, scenario = task
+                raise CampaignRunError(spec, scenario, config, str(payload))
+            fresh[key] = payload  # type: ignore[assignment]
+        return fresh
+
+    def _run_parallel(
+        self, pending: Sequence[Tuple[str, RunTask]]
+    ) -> Dict[str, SimulationResult]:
+        fresh: Dict[str, SimulationResult] = {}
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_task, task): (key, task) for key, task in pending
+            }
+            try:
+                done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    key, task = futures[future]
+                    status, payload = future.result()
+                    if status == "error":
+                        config, spec, scenario = task
+                        raise CampaignRunError(spec, scenario, config, str(payload))
+                    fresh[key] = payload  # type: ignore[assignment]
+            except BrokenProcessPool as exc:
+                # A worker died without reporting (OOM kill, segfault):
+                # name one of the tasks that was still in flight.
+                config, spec, scenario = next(iter(futures.values()))[1]
+                raise CampaignRunError(
+                    spec,
+                    scenario,
+                    config,
+                    f"worker process died abruptly: {exc}",
+                ) from exc
+            finally:
+                for future in futures:
+                    future.cancel()
+        return fresh

@@ -7,12 +7,14 @@ keyed by ``(spec, x)``; the figure modules extract their column.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import SimulationResult, run_simulation
+from repro.experiments.executor import CampaignExecutor
+from repro.experiments.runner import SimulationResult
 from repro.metrics.report import format_table
 
 __all__ = ["FigureData", "run_axis_sweep", "extract_series"]
@@ -55,9 +57,18 @@ class FigureData:
         return format_table(headers, rows, title=heading)
 
     def value(self, spec: str, x: float) -> float:
-        """Look up one y value by strategy and x."""
-        index = self.x_values.index(x)
-        return self.series[spec][index]
+        """Look up one y value by strategy and x.
+
+        The x lookup is float-tolerant (``math.isclose``) so an axis
+        value that went through arithmetic — ``1.5 * 60`` vs ``90.0000…1``
+        — still finds its column.
+        """
+        for index, candidate in enumerate(self.x_values):
+            if math.isclose(candidate, x, rel_tol=1e-9, abs_tol=1e-12):
+                return self.series[spec][index]
+        raise ConfigurationError(
+            f"{self.figure_id}: no x value near {x!r}; have {self.x_values}"
+        )
 
     def to_csv(self) -> str:
         """Serialize the figure as CSV (x column + one column per series)."""
@@ -96,23 +107,38 @@ def run_axis_sweep(
     values: Sequence[float],
     specs: Sequence[str],
     scenario: str = "standard",
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[Tuple[str, float], SimulationResult]:
     """Run every (strategy, axis value) combination.
 
-    Each run re-derives its seed from the base seed, the axis and the spec
-    so that runs are independent yet reproducible.
+    Runs go through ``executor`` (default: a fresh serial, uncached
+    :class:`CampaignExecutor`), so a parallel or cache-backed executor
+    accelerates every figure without the figures knowing.  Duplicate axis
+    values are collapsed — the same ``(spec, value)`` point is simulated
+    once no matter how often the caller repeats it.
     """
     if axis not in _SWEEPABLE:
         raise ConfigurationError(
             f"cannot sweep {axis!r}; choose from {sorted(_SWEEPABLE)}"
         )
-    results: Dict[Tuple[str, float], SimulationResult] = {}
+    if executor is None:
+        executor = CampaignExecutor()
+    unique_values: List[float] = []
     for value in values:
-        kwargs = {axis: type(getattr(config, axis))(value)}
-        point_config = config.with_overrides(**kwargs)
-        for spec in specs:
-            results[(spec, value)] = run_simulation(point_config, spec, scenario)
-    return results
+        if value not in unique_values:
+            unique_values.append(value)
+    points = [
+        (spec, value, config.with_overrides(**{axis: type(getattr(config, axis))(value)}))
+        for value in unique_values
+        for spec in specs
+    ]
+    outcomes = executor.run_many(
+        [(point_config, spec, scenario) for spec, value, point_config in points]
+    )
+    return {
+        (spec, value): result
+        for (spec, value, _), result in zip(points, outcomes)
+    }
 
 
 def extract_series(

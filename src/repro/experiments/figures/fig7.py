@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import CampaignExecutor
 from repro.experiments.figures.base import FigureData, extract_series, run_axis_sweep
 from repro.experiments.runner import STRATEGY_SPECS, SimulationResult
 
@@ -47,10 +48,11 @@ def _panel(
     config: Optional[SimulationConfig],
     specs: Sequence[str],
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     base = config if config is not None else SimulationConfig()
     if results is None:
-        results = run_axis_sweep(base, axis, values, specs)
+        results = run_axis_sweep(base, axis, values, specs, executor=executor)
     series = extract_series(results, specs, values, _traffic)
     return FigureData(
         figure_id=figure_id,
@@ -67,6 +69,7 @@ def fig7a(
     specs: Sequence[str] = STRATEGY_SPECS,
     update_intervals: Sequence[float] = UPDATE_INTERVALS,
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Traffic vs update interval (seconds)."""
     return _panel(
@@ -78,6 +81,7 @@ def fig7a(
         config,
         specs,
         results,
+        executor,
     )
 
 
@@ -86,6 +90,7 @@ def fig7b(
     specs: Sequence[str] = STRATEGY_SPECS,
     query_intervals: Sequence[float] = QUERY_INTERVALS,
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Traffic vs query interval (seconds)."""
     return _panel(
@@ -97,6 +102,7 @@ def fig7b(
         config,
         specs,
         results,
+        executor,
     )
 
 
@@ -105,6 +111,7 @@ def fig7c(
     specs: Sequence[str] = STRATEGY_SPECS,
     cache_numbers: Sequence[int] = CACHE_NUMBERS,
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Traffic vs cache number per host."""
     return _panel(
@@ -116,4 +123,5 @@ def fig7c(
         config,
         specs,
         results,
+        executor,
     )

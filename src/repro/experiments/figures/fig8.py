@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import CampaignExecutor
 from repro.experiments.figures.base import FigureData, extract_series, run_axis_sweep
 from repro.experiments.figures.fig7 import (
     CACHE_NUMBERS,
@@ -38,10 +39,11 @@ def _panel(
     config: Optional[SimulationConfig],
     specs: Sequence[str],
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     base = config if config is not None else SimulationConfig()
     if results is None:
-        results = run_axis_sweep(base, axis, values, specs)
+        results = run_axis_sweep(base, axis, values, specs, executor=executor)
     series = extract_series(results, specs, values, _latency)
     return FigureData(
         figure_id=figure_id,
@@ -58,6 +60,7 @@ def fig8a(
     specs: Sequence[str] = STRATEGY_SPECS,
     update_intervals: Sequence[float] = UPDATE_INTERVALS,
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Latency vs update interval (seconds)."""
     return _panel(
@@ -69,6 +72,7 @@ def fig8a(
         config,
         specs,
         results,
+        executor,
     )
 
 
@@ -77,6 +81,7 @@ def fig8b(
     specs: Sequence[str] = STRATEGY_SPECS,
     query_intervals: Sequence[float] = QUERY_INTERVALS,
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Latency vs query interval (seconds)."""
     return _panel(
@@ -88,6 +93,7 @@ def fig8b(
         config,
         specs,
         results,
+        executor,
     )
 
 
@@ -96,6 +102,7 @@ def fig8c(
     specs: Sequence[str] = STRATEGY_SPECS,
     cache_numbers: Sequence[int] = CACHE_NUMBERS,
     results: Optional[Dict] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Latency vs cache number per host."""
     return _panel(
@@ -107,4 +114,5 @@ def fig8c(
         config,
         specs,
         results,
+        executor,
     )

@@ -11,11 +11,12 @@ approaches simple push, while latency falls with TTL.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import CampaignExecutor
 from repro.experiments.figures.base import FigureData
-from repro.experiments.runner import SimulationResult, run_simulation
+from repro.experiments.runner import SimulationResult
 
 __all__ = ["TTL_VALUES", "run_fig9", "fig9a", "fig9b"]
 
@@ -26,21 +27,36 @@ def run_fig9(
     config: Optional[SimulationConfig] = None,
     ttls: Sequence[int] = TTL_VALUES,
     include_reference: bool = True,
+    executor: Optional[CampaignExecutor] = None,
 ) -> Dict[str, object]:
     """Run the Fig 9 scenario once; both panels extract from this.
 
     Returns a dict with ``"rpcc"`` (ttl -> result), and optionally
-    ``"push"``/``"pull"`` reference results.
+    ``"push"``/``"pull"`` reference results.  The whole campaign (TTL
+    sweep plus references) goes through ``executor`` in one batch, so a
+    parallel or cached executor covers every point.
     """
     base = config if config is not None else SimulationConfig()
-    rpcc_results: Dict[int, SimulationResult] = {}
+    if executor is None:
+        executor = CampaignExecutor()
+    unique_ttls: List[int] = []
     for ttl in ttls:
-        point = base.with_overrides(ttl_rpcc=int(ttl))
-        rpcc_results[int(ttl)] = run_simulation(point, "rpcc-sc", "single_source")
+        if int(ttl) not in unique_ttls:
+            unique_ttls.append(int(ttl))
+    tasks = [
+        (base.with_overrides(ttl_rpcc=ttl), "rpcc-sc", "single_source")
+        for ttl in unique_ttls
+    ]
+    if include_reference:
+        tasks.append((base, "push", "single_source"))
+        tasks.append((base, "pull", "single_source"))
+    outcomes = executor.run_many(tasks)
+    rpcc_results: Dict[int, SimulationResult] = dict(
+        zip(unique_ttls, outcomes[: len(unique_ttls)])
+    )
     payload: Dict[str, object] = {"rpcc": rpcc_results, "ttls": list(ttls)}
     if include_reference:
-        payload["push"] = run_simulation(base, "push", "single_source")
-        payload["pull"] = run_simulation(base, "pull", "single_source")
+        payload["push"], payload["pull"] = outcomes[len(unique_ttls):]
     return payload
 
 
@@ -74,10 +90,11 @@ def fig9a(
     config: Optional[SimulationConfig] = None,
     ttls: Sequence[int] = TTL_VALUES,
     payload: Optional[Dict[str, object]] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Traffic vs invalidation TTL."""
     if payload is None:
-        payload = run_fig9(config, ttls)
+        payload = run_fig9(config, ttls, executor=executor)
     return _panel(
         "Fig 9(a)",
         "network traffic vs invalidation TTL",
@@ -91,10 +108,11 @@ def fig9b(
     config: Optional[SimulationConfig] = None,
     ttls: Sequence[int] = TTL_VALUES,
     payload: Optional[Dict[str, object]] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FigureData:
     """Latency vs invalidation TTL."""
     if payload is None:
-        payload = run_fig9(config, ttls)
+        payload = run_fig9(config, ttls, executor=executor)
     return _panel(
         "Fig 9(b)",
         "query latency vs invalidation TTL",

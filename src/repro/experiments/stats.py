@@ -13,11 +13,12 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import SimulationResult, run_simulation
+from repro.experiments.executor import CampaignExecutor
+from repro.experiments.runner import SimulationResult
 
 __all__ = ["MetricStats", "aggregate", "run_replicated", "summarize_metric"]
 
@@ -79,19 +80,26 @@ def run_replicated(
     spec: str,
     seeds: Sequence[int],
     scenario: str = "standard",
+    executor: Optional[CampaignExecutor] = None,
 ) -> List[SimulationResult]:
-    """Run the same experiment once per seed."""
+    """Run the same experiment once per seed.
+
+    Seed replicas are independent runs, so a parallel ``executor``
+    (``CampaignExecutor(jobs=N)``) fans them out across workers with
+    bit-identical results; the default stays serial and uncached.
+    """
     if not seeds:
         raise ConfigurationError("run_replicated needs at least one seed")
-    return [
-        run_simulation(config.with_overrides(seed=int(seed)), spec, scenario)
-        for seed in seeds
-    ]
+    if executor is None:
+        executor = CampaignExecutor()
+    return executor.run_many(
+        [(config.with_overrides(seed=int(seed)), spec, scenario) for seed in seeds]
+    )
 
 
 def aggregate(
     results: Sequence[SimulationResult],
-    metrics: Dict[str, Callable[[SimulationResult], float]] = None,
+    metrics: Optional[Dict[str, Callable[[SimulationResult], float]]] = None,
 ) -> Dict[str, MetricStats]:
     """Aggregate the default (or given) metrics over replicated results."""
     if not results:

@@ -13,7 +13,7 @@ from benchmarks.baseline import (
     main as baseline_main,
     save_baseline,
 )
-from benchmarks.run_bench import kernel_benchmarks, measure
+from benchmarks.run_bench import kernel_benchmarks, measure, sweep_speedups
 
 
 class TestSaveLoadRoundTrip:
@@ -103,3 +103,27 @@ class TestRunBench:
     def test_every_benchmark_callable_runs(self):
         for name, fn in kernel_benchmarks():
             fn()  # one iteration each: smoke, not timing
+
+    def test_sweep_benchmark_names_match_committed_baseline(self, tmp_path):
+        import pathlib
+
+        from benchmarks.bench_sweep import sweep_benchmarks
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_sweep.json"
+        )
+        committed = set(load_baseline(baseline_path))
+        defined = {name for name, _ in sweep_benchmarks(str(tmp_path))}
+        assert defined == committed
+
+    def test_sweep_speedups_derived_from_timings(self):
+        speedups = sweep_speedups({
+            "sweep_serial_6runs": 1.0,
+            "sweep_jobs2_6runs": 0.5,
+            "sweep_cache_warm_6runs": 0.01,
+        })
+        assert speedups["parallel_speedup_jobs2"] == pytest.approx(2.0)
+        assert speedups["cache_hit_speedup"] == pytest.approx(100.0)
+        assert sweep_speedups({}) == {}

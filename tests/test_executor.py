@@ -1,0 +1,199 @@
+"""Tests for the campaign executor and the content-addressed result cache.
+
+The load-bearing property is *bit-identity*: every run is a pure function
+of its ``(config, spec, scenario)`` triple, so the parallel executor and
+the cache must be invisible to the science — same summaries, same series,
+same relay samples, whatever the jobs count or cache state.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import (
+    CampaignExecutor,
+    CampaignRunError,
+    ResultCache,
+    run_key,
+)
+from repro.experiments.figures.base import run_axis_sweep
+from repro.experiments.runner import STRATEGY_SPECS, run_simulation
+from repro.experiments.stats import run_replicated
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        n_peers=10,
+        sim_time=120.0,
+        warmup=0.0,
+        seed=11,
+        terrain_width=800.0,
+        terrain_height=800.0,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+def result_fingerprint(result):
+    """Everything that must be identical across execution modes."""
+    return (
+        result.spec,
+        result.scenario,
+        result.config,
+        result.summary,
+        result.total_queries,
+        result.total_updates,
+        result.relay_samples,
+        result.traffic_series.times,
+        result.traffic_series.values,
+        result.energy_consumed,
+        result.mean_battery_fraction,
+    )
+
+
+class TestRunKey:
+    def test_equal_configs_share_a_key(self):
+        assert run_key(tiny_config(), "push") == run_key(tiny_config(), "push")
+
+    def test_any_field_changes_the_key(self):
+        base = run_key(tiny_config(), "push")
+        assert run_key(tiny_config(seed=12), "push") != base
+        assert run_key(tiny_config(cache_num=9), "push") != base
+        assert run_key(tiny_config(), "pull") != base
+        assert run_key(tiny_config(), "push", "single_source") != base
+
+    def test_spec_normalised(self):
+        assert run_key(tiny_config(), " PUSH ") == run_key(tiny_config(), "push")
+
+
+class TestPickleRoundTrip:
+    def test_config_roundtrip(self):
+        config = tiny_config(zipf_theta=0.8, routing="cached")
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_result_roundtrip(self):
+        result = run_simulation(tiny_config(), "rpcc-sc")
+        clone = pickle.loads(pickle.dumps(result))
+        assert result_fingerprint(clone) == result_fingerprint(result)
+
+
+class TestBitIdentity:
+    def test_parallel_matches_serial_for_every_spec(self):
+        tasks = [(tiny_config(), spec, "standard") for spec in STRATEGY_SPECS]
+        serial = CampaignExecutor(jobs=1).run_many(tasks)
+        parallel = CampaignExecutor(jobs=2).run_many(tasks)
+        for spec, left, right in zip(STRATEGY_SPECS, serial, parallel):
+            assert result_fingerprint(left) == result_fingerprint(right), spec
+
+    def test_parallel_campaign_matches_serial(self):
+        tasks = [
+            (tiny_config(seed=seed), spec, "standard")
+            for seed in (11, 12)
+            for spec in ("push", "pull")
+        ]
+        serial = CampaignExecutor(jobs=1).run_many(tasks)
+        parallel = CampaignExecutor(jobs=3).run_many(tasks)
+        for left, right in zip(serial, parallel):
+            assert result_fingerprint(left) == result_fingerprint(right)
+
+    def test_run_replicated_through_parallel_executor(self):
+        serial = run_replicated(tiny_config(), "push", seeds=(1, 2))
+        parallel = run_replicated(
+            tiny_config(), "push", seeds=(1, 2),
+            executor=CampaignExecutor(jobs=2),
+        )
+        for left, right in zip(serial, parallel):
+            assert result_fingerprint(left) == result_fingerprint(right)
+
+
+class TestResultCache:
+    def test_warm_rerun_does_no_simulation_work(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = [(tiny_config(), spec, "standard") for spec in ("push", "pull")]
+        cold = CampaignExecutor(cache=cache)
+        first = cold.run_many(tasks)
+        assert cold.runs_executed == 2
+        assert cache.misses == 2 and cache.hits == 0
+
+        warm = CampaignExecutor(cache=cache)
+        second = warm.run_many(tasks)
+        assert warm.runs_executed == 0
+        assert warm.cache.hits == 2
+        for left, right in zip(first, second):
+            assert result_fingerprint(left) == result_fingerprint(right)
+
+    def test_parameter_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignExecutor(cache=cache).run_one(tiny_config(), "push")
+        changed = CampaignExecutor(cache=cache)
+        changed.run_one(tiny_config(seed=99), "push")
+        assert changed.runs_executed == 1
+
+    def test_corrupt_entry_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        executor = CampaignExecutor(cache=cache)
+        executor.run_one(tiny_config(), "push")
+        key = run_key(tiny_config(), "push", "standard")
+        cache.path_for(key).write_bytes(b"not a pickle")
+        again = CampaignExecutor(cache=ResultCache(tmp_path / "cache"))
+        result = again.run_one(tiny_config(), "push")
+        assert again.runs_executed == 1
+        assert result.summary.transmissions > 0
+
+    def test_purge_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignExecutor(cache=cache).run_many(
+            [(tiny_config(), spec, "standard") for spec in ("push", "pull")]
+        )
+        assert len(cache) == 2
+        assert cache.purge() == 2
+        assert len(cache) == 0
+
+
+class TestExecutorSemantics:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(jobs=0)
+
+    def test_duplicate_tasks_run_once(self):
+        executor = CampaignExecutor()
+        results = executor.run_many([(tiny_config(), "push", "standard")] * 3)
+        assert executor.runs_executed == 1
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+
+    def test_serial_failure_names_the_point(self):
+        executor = CampaignExecutor()
+        with pytest.raises(CampaignRunError) as excinfo:
+            executor.run_many([
+                (tiny_config(), "push", "standard"),
+                (tiny_config(), "gossip", "standard"),
+            ])
+        error = excinfo.value
+        assert error.spec == "gossip"
+        assert error.config == tiny_config()
+        assert "ConfigurationError" in error.worker_traceback
+
+    def test_parallel_failure_fails_cleanly(self):
+        executor = CampaignExecutor(jobs=2)
+        with pytest.raises(CampaignRunError) as excinfo:
+            executor.run_many([
+                (tiny_config(), "push", "standard"),
+                (tiny_config(), "gossip", "standard"),
+                (tiny_config(), "pull", "standard"),
+            ])
+        assert excinfo.value.spec == "gossip"
+        assert "ConfigurationError" in excinfo.value.worker_traceback
+
+
+class TestAxisSweepDedup:
+    def test_duplicate_axis_values_run_once(self):
+        executor = CampaignExecutor()
+        results = run_axis_sweep(
+            tiny_config(), "cache_num", (2, 2, 4), ("push",), executor=executor
+        )
+        assert executor.runs_executed == 2
+        assert set(results) == {("push", 2), ("push", 4)}

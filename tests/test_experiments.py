@@ -191,6 +191,19 @@ class TestFigureData:
         figure = self.make_figure()
         assert figure.value("pull", 2.0) == 40.0
 
+    def test_value_lookup_tolerates_float_noise(self):
+        # An axis value that went through arithmetic (0.5 * 4, unit
+        # conversions, ...) need not compare equal; the lookup is
+        # isclose-based.
+        figure = self.make_figure()
+        assert figure.value("pull", 2.0 + 1e-13) == 40.0
+        assert figure.value("push", 0.1 + 0.2 + 0.7) == 10.0
+
+    def test_value_miss_raises_configuration_error(self):
+        figure = self.make_figure()
+        with pytest.raises(ConfigurationError, match="no x value near"):
+            figure.value("pull", 3.0)
+
     def test_format_contains_rows(self):
         text = self.make_figure().format()
         assert "Fig X" in text
