@@ -86,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("spec", choices=STRATEGY_SPECS)
     run_parser.add_argument("--scenario", default="standard",
                             choices=("standard", "single_source"))
+    run_parser.add_argument("--trace", metavar="PATH",
+                            help="also record a JSONL event trace to PATH "
+                            "(bypasses the result cache)")
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one traced simulation, export the JSONL event trace and "
+        "check the consistency invariants (see docs/OBSERVABILITY.md)",
+    )
+    trace_parser.add_argument("spec", choices=STRATEGY_SPECS)
+    trace_parser.add_argument("--scenario", default="standard",
+                              choices=("standard", "single_source"))
+    trace_parser.add_argument("--out", default="trace.jsonl",
+                              help="JSONL trace output path")
+    trace_parser.add_argument("--no-check", action="store_true",
+                              help="skip the invariant checker replay")
 
     sub.add_parser("table1", help="print Table 1")
     sub.add_parser("compare", help="all six strategies at Table-1 defaults")
@@ -131,12 +147,53 @@ def _report_cache(executor: CampaignExecutor) -> None:
 
 
 def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
-    result = executor.run_one(_config(args), args.spec, args.scenario)
+    if getattr(args, "trace", None):
+        # A traced run is never cache-served: the cache stores metrics,
+        # not event streams, and a hit would leave the trace file empty.
+        result, events_written = _run_traced(
+            _config(args), args.spec, args.scenario, args.trace
+        )
+        print(f"trace: {events_written} events -> {args.trace}")
+    else:
+        result = executor.run_one(_config(args), args.spec, args.scenario)
     print(format_summary(result.summary, title=f"{args.spec} ({args.scenario})"))
     if result.relay_samples:
         print(f"\nmean relay population: {result.mean_relay_count:.1f}")
     print(f"events processed: {result.events_processed:,} "
           f"in {result.wall_clock_seconds:.1f}s wall clock")
+
+
+def _run_traced(config: SimulationConfig, spec: str, scenario: str, out_path: str):
+    """Run one simulation with a JSONL trace sink attached."""
+    from repro.experiments.runner import build_simulation
+    from repro.obs import JsonlSink, TraceBus
+
+    bus = TraceBus()
+    sink = bus.add_sink(JsonlSink(out_path))
+    try:
+        result = build_simulation(config, spec, scenario, trace=bus).run()
+    finally:
+        bus.close()
+    return result, sink.events_written
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import InvariantChecker
+    from repro.obs.events import iter_jsonl
+
+    config = _config(args)
+    result, events_written = _run_traced(config, args.spec, args.scenario, args.out)
+    print(format_summary(result.summary, title=f"{args.spec} ({args.scenario})"))
+    print(f"\ntrace: {events_written} events -> {args.out}")
+    if args.no_check:
+        return 0
+    # Reload from disk: the check exercises the full export -> import path.
+    checker = InvariantChecker(delta=config.ttp)
+    checker.feed_all(iter_jsonl(args.out))
+    report = checker.finish()
+    print()
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _command_table1(args: argparse.Namespace) -> None:
@@ -234,6 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         _command_table1(args)
         return 0
+    if args.command == "trace":
+        return _command_trace(args)
     executor = _executor(args)
     if args.command == "run":
         _command_run(args, executor)

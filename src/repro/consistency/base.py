@@ -40,6 +40,13 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.latency import QueryRecord
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.obs.events import (
+    CacheHit,
+    CacheMiss,
+    QueryIssued,
+    ReadServed,
+    SourceUpdate,
+)
 from repro.peers.host import MobileHost
 from repro.sim.engine import EventHandle
 
@@ -123,7 +130,14 @@ class QueryJob(abc.ABC):
     level: ConsistencyLevel
 
     @abc.abstractmethod
-    def deliver(self, agent: "BaseAgent", version: int, served_locally: bool) -> None:
+    def deliver(
+        self,
+        agent: "BaseAgent",
+        version: int,
+        served_locally: bool,
+        fallback: bool = False,
+        remote: bool = False,
+    ) -> None:
         """Hand the validated answer back to whoever asked."""
 
 
@@ -137,12 +151,37 @@ class LocalJob(QueryJob):
         self.item_id = record.item_id
         self.level = level
 
-    def deliver(self, agent: "BaseAgent", version: int, served_locally: bool) -> None:
+    def deliver(
+        self,
+        agent: "BaseAgent",
+        version: int,
+        served_locally: bool,
+        fallback: bool = False,
+        remote: bool = False,
+    ) -> None:
         metrics = agent.context.metrics
         metrics.latency.close(self.record.query_id, agent.now, version, served_locally)
-        metrics.staleness.record_read(
+        audit = metrics.staleness.record_read(
             self.item_id, version, agent.now, self.level.label, agent.context.delta
         )
+        trace = agent.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                ReadServed(
+                    time=agent.now,
+                    node=agent.node_id,
+                    item=self.item_id,
+                    version=version,
+                    level=self.level.label,
+                    query_id=self.record.query_id,
+                    served_locally=served_locally,
+                    remote=remote,
+                    fallback=fallback,
+                    cache_hit=self.record.cache_hit,
+                    latency=agent.now - self.record.issued_at,
+                    staleness_age=audit.staleness_age,
+                )
+            )
 
 
 class RemoteJob(QueryJob):
@@ -158,7 +197,14 @@ class RemoteJob(QueryJob):
         self.item_id = item_id
         self.level = level
 
-    def deliver(self, agent: "BaseAgent", version: int, served_locally: bool) -> None:
+    def deliver(
+        self,
+        agent: "BaseAgent",
+        version: int,
+        served_locally: bool,
+        fallback: bool = False,
+        remote: bool = False,
+    ) -> None:
         master = agent.context.catalog.master(self.item_id)
         reply = QueryReply(
             sender=agent.node_id,
@@ -166,6 +212,7 @@ class RemoteJob(QueryJob):
             version=version,
             request_id=self.request_id,
             content_size=master.content_size,
+            fallback=fallback,
         )
         agent.send(self.requester, reply)
 
@@ -273,6 +320,17 @@ class BaseAgent(abc.ABC):
         # Every local query accesses this node's cache (hit or miss), so it
         # counts towards N_a of eq 4.2.1.
         self.host.tracker.record_access()
+        trace = self.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                QueryIssued(
+                    time=self.now,
+                    node=self.node_id,
+                    item=item_id,
+                    level=level.label,
+                    query_id=record.query_id,
+                )
+            )
         job = LocalJob(record, level)
         if not self.host.online:
             self._answer_offline(job)
@@ -280,14 +338,34 @@ class BaseAgent(abc.ABC):
         master = self.context.catalog.master(item_id)
         if master.source_id == self.node_id:
             # Source hosts always hold the newest version (Section 3).
+            if trace.enabled:
+                trace.emit(
+                    CacheHit(
+                        time=self.now,
+                        node=self.node_id,
+                        item=item_id,
+                        version=master.version,
+                    )
+                )
             self.answer(job, master.version, served_locally=True)
             return record
         copy = self.host.store.get(item_id, self.now)
         if copy is not None:
             record.cache_hit = True
+            if trace.enabled:
+                trace.emit(
+                    CacheHit(
+                        time=self.now,
+                        node=self.node_id,
+                        item=item_id,
+                        version=copy.version,
+                    )
+                )
             self.validate_hit(copy, level, job)
         else:
             # Discovery sends the query to the nearest holder.
+            if trace.enabled:
+                trace.emit(CacheMiss(time=self.now, node=self.node_id, item=item_id))
             self._start_remote_query(PendingQuery(job))
         return record
 
@@ -302,7 +380,8 @@ class BaseAgent(abc.ABC):
             return
         self.context.metrics.bump("query_answered_offline")
         job.record.cache_hit = True
-        self.answer(job, copy.version, served_locally=True)
+        # An offline host cannot validate; this serve is a fallback.
+        self.answer(job, copy.version, served_locally=True, fallback=True)
 
     @abc.abstractmethod
     def validate_hit(
@@ -310,9 +389,21 @@ class BaseAgent(abc.ABC):
     ) -> None:
         """Strategy-specific consistency check for a held copy."""
 
-    def answer(self, job: QueryJob, version: int, served_locally: bool = False) -> None:
-        """Deliver the validated answer through the job."""
-        job.deliver(self, version, served_locally)
+    def answer(
+        self,
+        job: QueryJob,
+        version: int,
+        served_locally: bool = False,
+        fallback: bool = False,
+        remote: bool = False,
+    ) -> None:
+        """Deliver the answer through the job.
+
+        ``fallback`` marks answers served without the level's validation
+        completing; ``remote`` marks answers that came back from another
+        holder's copy.  Both flow into the ``read_served`` trace event.
+        """
+        job.deliver(self, version, served_locally, fallback, remote)
 
     # ------------------------------------------------------------------
     # Remote queries (client side)
@@ -389,7 +480,9 @@ class BaseAgent(abc.ABC):
             if evicted is not None:
                 self.on_copy_evicted(evicted)
             self.on_copy_installed(copy)
-        self.answer(pending.job, message.version)
+        self.answer(
+            pending.job, message.version, fallback=message.fallback, remote=True
+        )
 
     def on_copy_installed(self, copy: CachedCopy) -> None:
         """Hook: a fresh copy just entered the local store."""
@@ -427,6 +520,16 @@ class BaseAgent(abc.ABC):
         self.context.metrics.staleness.record_update(
             master.item_id, master.version, self.now
         )
+        trace = self.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                SourceUpdate(
+                    time=self.now,
+                    node=self.node_id,
+                    item=master.item_id,
+                    version=master.version,
+                )
+            )
 
     def on_period_closed(self) -> None:
         """A coefficient period just rolled over."""

@@ -91,6 +91,7 @@ class Invalidation(Message):
     """``INVALIDATION(ID, OP, VER)`` — periodic TTL-limited version beacon."""
 
     DEFAULT_SIZE: ClassVar[int] = CONTROL_SIZE
+    is_invalidation: ClassVar[bool] = True
     item_id: int = 0
     version: int = 0
 
@@ -202,6 +203,7 @@ class PushInvalidation(Message):
     """Simple push: periodic invalidation report flooded with TTL_BR."""
 
     DEFAULT_SIZE: ClassVar[int] = CONTROL_SIZE
+    is_invalidation: ClassVar[bool] = True
     item_id: int = 0
     version: int = 0
 
@@ -248,13 +250,19 @@ class QueryRequest(Message):
 
 @dataclasses.dataclass(frozen=True)
 class QueryReply(Message):
-    """The holder's validated answer; always carries the content."""
+    """The holder's validated answer; always carries the content.
+
+    ``fallback`` is ``True`` when the holder answered without completing
+    its level's validation (give-up / forced-stale paths); the querying
+    node propagates the flag into its ``read_served`` trace event.
+    """
 
     DEFAULT_SIZE: ClassVar[int] = CONTROL_SIZE
     item_id: int = 0
     version: int = 0
     request_id: int = 0
     content_size: int = 0
+    fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

@@ -27,6 +27,7 @@ from repro.consistency.levels import ConsistencyLevel
 from repro.consistency.messages import PullPoll, PullReply, next_poll_id
 from repro.errors import ProtocolError
 from repro.net.message import Message
+from repro.obs.events import PollAnswered, PollSent
 from repro.peers.host import MobileHost
 
 __all__ = ["PullStrategy", "PullAgent"]
@@ -98,7 +99,7 @@ class PullAgent(BaseAgent):
         pending.attempts += 1
         if pending.attempts > self.pull.max_poll_attempts:
             self.context.metrics.bump("pull_fallback_stale")
-            self.answer(pending.job, copy.version)
+            self.answer(pending.job, copy.version, fallback=True)
             return
         poll_id = next_poll_id()
         self._pending_polls[poll_id] = pending
@@ -109,6 +110,18 @@ class PullAgent(BaseAgent):
             poll_id=poll_id,
         )
         self.flood(poll, self.pull.ttl)
+        trace = self.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                PollSent(
+                    time=self.now,
+                    node=self.node_id,
+                    item=copy.item_id,
+                    poll_id=poll_id,
+                    stage="source",
+                    ttl=self.pull.ttl,
+                )
+            )
         pending.timeout_handle = self.context.sim.schedule(
             self.pull.poll_timeout, self._poll_timeout, poll_id
         )
@@ -159,6 +172,18 @@ class PullAgent(BaseAgent):
         if pending is None:
             return  # duplicate or post-timeout reply
         pending.cancel_timeout()
+        trace = self.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                PollAnswered(
+                    time=self.now,
+                    node=self.node_id,
+                    item=message.item_id,
+                    poll_id=message.poll_id,
+                    version=message.version,
+                    fresh=message.up_to_date,
+                )
+            )
         copy = self.host.store.peek(message.item_id)
         if message.up_to_date:
             version = copy.version if copy is not None else message.version

@@ -34,6 +34,7 @@ from repro.consistency.messages import (
 )
 from repro.errors import ProtocolError
 from repro.net.message import Message
+from repro.obs.events import FetchCompleted, FetchStarted, InvalidationSent
 from repro.peers.host import MobileHost
 from repro.sim.timers import PeriodicTimer
 
@@ -130,6 +131,18 @@ class PushAgent(BaseAgent):
         report = PushInvalidation(
             sender=self.node_id, item_id=master.item_id, version=master.version
         )
+        trace = self.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                InvalidationSent(
+                    time=self.now,
+                    node=self.node_id,
+                    item=master.item_id,
+                    version=master.version,
+                    ttl=self.push.ttl,
+                    protocol="push",
+                )
+            )
         self.flood(report, self.push.ttl)
 
     # ------------------------------------------------------------------
@@ -156,7 +169,7 @@ class PushAgent(BaseAgent):
             self.context.metrics.bump("push_giveup_no_copy")
             return
         self.context.metrics.bump("push_fallback_stale")
-        self.answer(pending.job, copy.version)
+        self.answer(pending.job, copy.version, fallback=True)
 
     def handle_protocol_message(self, message: Message) -> None:
         if isinstance(message, PushInvalidation):
@@ -194,6 +207,17 @@ class PushAgent(BaseAgent):
         source = self.context.catalog.source_of(item_id)
         request = FetchRequest(sender=self.node_id, item_id=item_id, fetch_id=fetch_id)
         if self.send(source, request):
+            trace = self.context.sim.trace
+            if trace.enabled:
+                trace.emit(
+                    FetchStarted(
+                        time=self.now,
+                        node=self.node_id,
+                        item=item_id,
+                        target=source,
+                        kind="push-refresh",
+                    )
+                )
             self._refreshing.add(item_id)
             self._refresh_ids[fetch_id] = item_id
             # If the reply never comes, the next report retries the refresh.
@@ -231,6 +255,17 @@ class PushAgent(BaseAgent):
             return
         if message.version > copy.version:
             copy.refresh(message.version, self.now)
+        trace = self.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                FetchCompleted(
+                    time=self.now,
+                    node=self.node_id,
+                    item=item_id,
+                    version=copy.version,
+                    kind="push-refresh",
+                )
+            )
         for pending in self._waiting.pop(item_id, []):
             pending.cancel_timeout()
             self.answer(pending.job, copy.version)

@@ -41,6 +41,7 @@ from repro.consistency.messages import (
     next_poll_id,
 )
 from repro.consistency.rpcc.config import RPCCConfig
+from repro.obs.events import PollAnswered, PollSent
 from repro.sim.engine import EventHandle
 from repro.sim.timers import CountdownTimer
 
@@ -190,14 +191,29 @@ class CachePeerSide:
         if stage == "relay":
             assert state.known_relay is not None
             self.agent.send(state.known_relay, poll)
+            stage_ttl = 0
             timeout = self.config.poll_timeout
         elif stage == "flood":
-            self.agent.flood(poll, self.config.poll_ttl or 1)
+            stage_ttl = self.config.poll_ttl or 1
+            self.agent.flood(poll, stage_ttl)
             timeout = self.config.poll_timeout
         else:  # "broadcast"
             self.agent.context.metrics.bump("rpcc_poll_fallback_source")
-            self.agent.flood(poll, self.config.broadcast_ttl)
+            stage_ttl = self.config.broadcast_ttl
+            self.agent.flood(poll, stage_ttl)
             timeout = self.config.source_poll_timeout
+        trace = self.agent.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                PollSent(
+                    time=self.agent.now,
+                    node=self.agent.node_id,
+                    item=state.item_id,
+                    poll_id=poll_id,
+                    stage=stage,
+                    ttl=stage_ttl,
+                )
+            )
         state.timeout_handle = self.agent.context.sim.schedule(
             timeout, self._stage_timeout, state
         )
@@ -217,7 +233,7 @@ class CachePeerSide:
             return
         self._close(state)
         self.agent.context.metrics.bump("rpcc_forced_stale")
-        self.agent.answer(state.job, copy.version)
+        self.agent.answer(state.job, copy.version, fallback=True)
 
     def _abort(self, state: _PollState, counter: str) -> None:
         self._close(state)
@@ -253,6 +269,18 @@ class CachePeerSide:
         if state is None or state.done:
             return  # duplicate answer or already-settled poll
         self._close(state)
+        trace = self.agent.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                PollAnswered(
+                    time=self.agent.now,
+                    node=self.agent.node_id,
+                    item=message.item_id,
+                    poll_id=message.poll_id,
+                    version=message.version,
+                    fresh=True,
+                )
+            )
         self.renew_ttp(message.item_id)
         copy = self.agent.host.store.peek(message.item_id)
         version = copy.version if copy is not None else message.version
@@ -265,6 +293,18 @@ class CachePeerSide:
         if state is None or state.done:
             return
         self._close(state)
+        trace = self.agent.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                PollAnswered(
+                    time=self.agent.now,
+                    node=self.agent.node_id,
+                    item=message.item_id,
+                    poll_id=message.poll_id,
+                    version=message.version,
+                    fresh=False,
+                )
+            )
         copy = self.agent.host.store.peek(message.item_id)
         if copy is not None and message.version > copy.version:
             copy.refresh(message.version, self.agent.now)

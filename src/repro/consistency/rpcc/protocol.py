@@ -45,6 +45,7 @@ from repro.consistency.rpcc.relay import RelaySide
 from repro.consistency.rpcc.roles import Role, RoleTable
 from repro.consistency.rpcc.source import SourceSide
 from repro.net.message import Message
+from repro.obs.events import RelayDemoted, RelayPromoted
 from repro.peers.host import MobileHost
 
 __all__ = ["RPCCStrategy", "RPCCAgent"]
@@ -132,15 +133,23 @@ class RPCCAgent(BaseAgent):
     def on_copy_evicted(self, item_id: int) -> None:
         """Replacement pushed out an item: resign any role it carried."""
         if self.roles.role(item_id) is not Role.CACHE_NODE:
-            self._resign(item_id)
+            self._resign(item_id, reason="evicted")
         self.cache_peer.forget(item_id)
 
-    def _resign(self, item_id: int) -> None:
-        if self.roles.is_relay(item_id):
+    def _resign(self, item_id: int, reason: str = "resigned") -> None:
+        was_relay = self.roles.is_relay(item_id)
+        if was_relay:
             cancel = Cancel(sender=self.node_id, item_id=item_id)
             self.send(self.context.catalog.source_of(item_id), cancel)
         self.roles.demote(item_id)
         self.relay.forget(item_id)
+        trace = self.context.sim.trace
+        if was_relay and trace.enabled:
+            trace.emit(
+                RelayDemoted(
+                    time=self.now, node=self.node_id, item=item_id, reason=reason
+                )
+            )
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -200,6 +209,13 @@ class RPCCAgent(BaseAgent):
             # clearly added us — accept the promotion.
             self.roles.promote(message.item_id)
             self.context.metrics.bump("rpcc_promoted_via_update")
+            trace = self.context.sim.trace
+            if trace.enabled:
+                trace.emit(
+                    RelayPromoted(
+                        time=self.now, node=self.node_id, item=message.item_id
+                    )
+                )
             self.relay.on_update(message)
         else:
             self.cache_peer.on_update_as_cache(message)
@@ -214,6 +230,9 @@ class RPCCAgent(BaseAgent):
             return
         self.roles.promote(item_id)
         self.context.metrics.bump("rpcc_promotions")
+        trace = self.context.sim.trace
+        if trace.enabled:
+            trace.emit(RelayPromoted(time=self.now, node=self.node_id, item=item_id))
 
     def _handle_poll(self, message: Poll) -> None:
         master = self.host.source_item
@@ -236,13 +255,13 @@ class RPCCAgent(BaseAgent):
         eligible = self.host.tracker.eligible(self.config.thresholds)
         for item_id in self.roles.tracked_items():
             if item_id not in self.host.store:
-                self._resign(item_id)
+                self._resign(item_id, reason="evicted")
                 continue
             role = self.roles.role(item_id)
             if not eligible:
                 if role is Role.RELAY:
                     self.context.metrics.bump("rpcc_demotions")
-                self._resign(item_id)
+                self._resign(item_id, reason="ineligible")
             elif role is Role.CANDIDATE and self.host.online:
                 # New switching period: retry the (possibly lost) APPLY.
                 apply = Apply(sender=self.node_id, item_id=item_id)

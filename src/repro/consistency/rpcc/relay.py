@@ -25,6 +25,7 @@ from repro.consistency.messages import (
     Update,
 )
 from repro.consistency.rpcc.config import RPCCConfig
+from repro.obs.events import FetchCompleted, FetchStarted
 from repro.sim.timers import CountdownTimer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -77,7 +78,13 @@ class RelaySide:
         if copy is None:
             return  # eviction raced the flood; the agent will demote
         if copy.version < message.version:
-            # Missed one or more updates (e.g. while disconnected).
+            # Missed one or more updates (e.g. while disconnected).  The
+            # copy is now *known* stale, so close the TTR window at once —
+            # otherwise an open TTR would keep answering polls with the
+            # stale copy until the refresh lands.
+            timer = self._ttr.get(item_id)
+            if timer is not None:
+                timer.expire_now()
             self._send_get_new(item_id)
         else:
             self.renew_ttr(item_id)
@@ -89,6 +96,17 @@ class RelaySide:
         source = self.agent.context.catalog.source_of(item_id)
         request = GetNew(sender=self.agent.node_id, item_id=item_id)
         if self.agent.send(source, request):
+            trace = self.agent.context.sim.trace
+            if trace.enabled:
+                trace.emit(
+                    FetchStarted(
+                        time=self.agent.now,
+                        node=self.agent.node_id,
+                        item=item_id,
+                        target=source,
+                        kind="get-new",
+                    )
+                )
             self._awaiting_get_new.add(item_id)
         # On failure: Section 4.5 — wait for the next INVALIDATION and retry.
 
@@ -111,6 +129,17 @@ class RelaySide:
             return
         if message.version > copy.version:
             copy.refresh(message.version, self.agent.now)
+        trace = self.agent.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                FetchCompleted(
+                    time=self.agent.now,
+                    node=self.agent.node_id,
+                    item=message.item_id,
+                    version=copy.version,
+                    kind="get-new",
+                )
+            )
         self.renew_ttr(message.item_id)
         self._drain(message.item_id, copy)
 

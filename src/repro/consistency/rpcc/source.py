@@ -27,6 +27,7 @@ from repro.consistency.messages import (
     Update,
 )
 from repro.consistency.rpcc.config import RPCCConfig
+from repro.obs.events import InvalidationSent
 from repro.sim.timers import PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -79,6 +80,18 @@ class SourceSide:
         invalidation = Invalidation(
             sender=self.agent.node_id, item_id=master.item_id, version=master.version
         )
+        trace = self.agent.context.sim.trace
+        if trace.enabled:
+            trace.emit(
+                InvalidationSent(
+                    time=self.agent.now,
+                    node=self.agent.node_id,
+                    item=master.item_id,
+                    version=master.version,
+                    ttl=self.config.ttl_invalidation,
+                    protocol="rpcc",
+                )
+            )
         self.agent.flood(invalidation, self.config.ttl_invalidation)
 
     def _push_update(self, master: MasterCopy) -> None:

@@ -87,6 +87,9 @@ class SimulationConfig:
     fetch_timeout: float = 5.0
     poll_timeout: float = 4.0
     cache_on_read: bool = False
+    # Per-hop packet loss probability of the wireless links; 0 keeps the
+    # lossless default (and the bit-identical lossless event stream).
+    loss_rate: float = 0.0
     # Optional Zipf skew for the item-access pattern; None = uniform.
     zipf_theta: float = 0.0
     # Mobility model for the non-stable peers: "waypoint" or "walk".
@@ -127,6 +130,10 @@ class SimulationConfig:
             )
         if self.warmup < 0:
             raise ConfigurationError(f"warmup must be >= 0, got {self.warmup!r}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate!r}"
+            )
         if self.mobility not in ("waypoint", "walk"):
             raise ConfigurationError(
                 f"mobility must be 'waypoint' or 'walk', got {self.mobility!r}"

@@ -209,6 +209,8 @@ def build_simulation(
     config: SimulationConfig,
     spec: str,
     scenario: str = "standard",
+    *,
+    trace=None,
 ) -> Simulation:
     """Wire every substrate into a runnable simulation.
 
@@ -220,6 +222,11 @@ def build_simulation(
         One of :data:`STRATEGY_SPECS`.
     scenario:
         ``"standard"`` or ``"single_source"`` (Fig 9).
+    trace:
+        Optional :class:`repro.obs.TraceBus`; when given, every
+        instrumented subsystem emits trace events into it.  Omitted (the
+        default) the simulator keeps its no-op bus and tracing costs one
+        branch per emit site.
     """
     if scenario not in ("standard", "single_source"):
         raise ConfigurationError(f"unknown scenario {scenario!r}")
@@ -227,11 +234,20 @@ def build_simulation(
     sim = Simulator()
     streams = RandomStreams(config.seed)
     metrics = MetricsCollector(delta=config.ttp)
+    if trace is not None:
+        sim.attach_trace(trace)
+        metrics.attach_trace(trace, lambda: sim.now)
     router = CachingRouter() if config.routing == "cached" else ShortestPathRouter()
+    # loss_rate == 0 keeps the seed's exact LinkModel behaviour (and RNG
+    # stream layout): hop_is_lost() short-circuits without drawing.
+    link = LinkModel(
+        loss_rate=config.loss_rate,
+        rng=streams.stream("link-loss") if config.loss_rate > 0 else None,
+    )
     network = Network(
         sim,
         radio_range=config.radio_range,
-        link=LinkModel(),
+        link=link,
         traffic=metrics,
         router=router,
     )
@@ -385,6 +401,8 @@ def run_simulation(
     config: SimulationConfig,
     spec: str,
     scenario: str = "standard",
+    *,
+    trace=None,
 ) -> SimulationResult:
     """Convenience: build and run in one call."""
-    return build_simulation(config, spec, scenario).run()
+    return build_simulation(config, spec, scenario, trace=trace).run()

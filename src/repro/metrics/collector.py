@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.metrics.counters import MessageCounters
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.staleness import StalenessTracker
 from repro.net.message import Message
+from repro.obs.events import MetricsReset
 
 __all__ = ["MetricsCollector", "MetricsSummary"]
 
@@ -46,11 +47,22 @@ class MetricsCollector:
         self.latency = LatencyRecorder()
         self.staleness = StalenessTracker(delta=delta)
         self._counters: Dict[str, int] = {}
+        self._trace = None
+        self._clock: Optional[Callable[[], float]] = None
 
     # TrafficObserver protocol -----------------------------------------
     def record_transmissions(self, message: Message, transmissions: int) -> None:
         """Forward network-layer accounting into the traffic counters."""
         self.traffic.record_transmissions(message, transmissions)
+
+    def attach_trace(self, trace, clock: Callable[[], float]) -> None:
+        """Emit bookkeeping events (currently ``metrics_reset``) to ``trace``.
+
+        ``clock`` supplies the simulation time, since the collector itself
+        is clock-free.
+        """
+        self._trace = trace
+        self._clock = clock
 
     def reset(self) -> None:
         """Forget everything measured so far (end-of-warm-up hook).
@@ -63,6 +75,8 @@ class MetricsCollector:
         self.latency = LatencyRecorder()
         self.staleness._audits.clear()
         self._counters = {}
+        if self._trace is not None and self._trace.enabled and self._clock is not None:
+            self._trace.emit(MetricsReset(time=self._clock()))
 
     # Free-form counters -------------------------------------------------
     def bump(self, name: str, amount: int = 1) -> None:

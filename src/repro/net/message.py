@@ -39,6 +39,10 @@ class Message:
 
     DEFAULT_SIZE: ClassVar[int] = 64
 
+    #: Set by invalidation-report subclasses; lets the network layer emit
+    #: delivery trace events without importing the consistency package.
+    is_invalidation: ClassVar[bool] = False
+
     sender: int
     size_bytes: int = -1  # placeholder replaced in __post_init__
     msg_id: int = dataclasses.field(default_factory=next_message_id)

@@ -24,6 +24,7 @@ from repro.net.message import Message
 from repro.net.node import NetworkNode
 from repro.net.routing import Router, ShortestPathRouter
 from repro.net.topology import TopologyService, TopologySnapshot
+from repro.obs.events import InvalidationReceived, NodeOffline, NodeOnline
 from repro.sim.engine import Simulator
 
 __all__ = ["Network", "TrafficObserver"]
@@ -102,6 +103,12 @@ class Network:
 
     def _on_node_state_change(self, node: NetworkNode) -> None:
         self.topology.invalidate()
+        trace = self.sim.trace
+        if trace.enabled:
+            if node.online:
+                trace.emit(NodeOnline(time=self.sim.now, node=node.node_id))
+            else:
+                trace.emit(NodeOffline(time=self.sim.now, node=node.node_id))
 
     def node(self, node_id: int) -> NetworkNode:
         """Look up a registered node by id."""
@@ -238,4 +245,14 @@ class Network:
             self.messages_undeliverable += 1
             return
         self.messages_delivered += 1
+        trace = self.sim.trace
+        if trace.enabled and message.is_invalidation:
+            trace.emit(
+                InvalidationReceived(
+                    time=self.sim.now,
+                    node=target,
+                    item=getattr(message, "item_id", -1),
+                    version=getattr(message, "version", -1),
+                )
+            )
         node.deliver(message)

@@ -1,0 +1,71 @@
+"""Observability layer: typed trace events, bus, sinks, invariant checker.
+
+See docs/OBSERVABILITY.md for the event taxonomy and the per-level
+consistency contracts the checker enforces.
+"""
+
+from repro.obs.bus import NULL_TRACE, NullTraceBus, TraceBus
+from repro.obs.checker import CheckReport, InvariantChecker, Violation, check_events
+from repro.obs.events import (
+    EVENT_TYPES,
+    CacheHit,
+    CacheMiss,
+    FetchCompleted,
+    FetchStarted,
+    InvalidationReceived,
+    InvalidationSent,
+    MetricsReset,
+    NodeOffline,
+    NodeOnline,
+    PollAnswered,
+    PollSent,
+    QueryIssued,
+    ReadServed,
+    RelayDemoted,
+    RelayPromoted,
+    SourceUpdate,
+    TraceEvent,
+    event_from_dict,
+    event_to_dict,
+    iter_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.sinks import JsonlSink, ListSink, NullSink, TraceSink
+
+__all__ = [
+    "TraceBus",
+    "NullTraceBus",
+    "NULL_TRACE",
+    "TraceSink",
+    "ListSink",
+    "JsonlSink",
+    "NullSink",
+    "InvariantChecker",
+    "CheckReport",
+    "Violation",
+    "check_events",
+    "TraceEvent",
+    "QueryIssued",
+    "CacheHit",
+    "CacheMiss",
+    "ReadServed",
+    "SourceUpdate",
+    "InvalidationSent",
+    "InvalidationReceived",
+    "PollSent",
+    "PollAnswered",
+    "FetchStarted",
+    "FetchCompleted",
+    "RelayPromoted",
+    "RelayDemoted",
+    "NodeOnline",
+    "NodeOffline",
+    "MetricsReset",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "event_to_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "iter_jsonl",
+]

@@ -1,0 +1,290 @@
+"""Trace-driven consistency invariant checker.
+
+Replays a trace (live events, or a JSONL file written by
+:class:`repro.obs.sinks.JsonlSink`) and asserts the paper's per-level
+consistency contracts (Section 3, eqs 3.2.1–3.2.3) against what each
+node *provably knew*:
+
+**strong** (eq 3.2.1)
+    A validated strong read at node ``n`` must never return a version
+    older than the newest invalidation *delivered to* ``n``: once an
+    ``invalidation_received`` for version ``v`` landed at ``n`` more than
+    ``slack`` seconds before a serve, serving ``v' < v`` is a violation.
+    The knowledge-relative formulation is deliberate — an update the
+    network has not yet told the node about cannot be held against it,
+    which is exactly the paper's model where strong consistency is
+    enforced *through* the invalidation/poll machinery rather than by a
+    global oracle.
+
+**delta** (eq 3.2.2)
+    A validated Δ read may lag, but not beyond Δ: if the node learned of
+    a newer version more than ``delta + slack`` seconds before the
+    serve, the Δ contract is broken.
+
+**weak** (eq 3.2.3)
+    A weak read returns "some previous correct value"; per (node, item)
+    the versions served from the node's *own* copy must be monotone
+    non-decreasing (a local copy never downgrades).
+
+Two contracts apply to **every** read regardless of level:
+
+* **validity** — a served version must exist: it can never exceed the
+  ground-truth current version (fed by ``source_update`` events);
+* **time order** — event timestamps must be non-decreasing (a malformed
+  or spliced trace fails fast instead of producing nonsense verdicts).
+
+Reads flagged ``fallback`` (push give-up, pull poll exhaustion, RPCC
+forced-stale, offline self-serves) are *exempt* from the strong/Δ
+contracts — the protocols deliberately serve them unvalidated and count
+them — but still face the weak/validity checks.  ``slack`` (default 1 s)
+absorbs in-flight answers: an acknowledgement already travelling when a
+newer invalidation lands at the poller is not a protocol violation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.obs.events import (
+    InvalidationReceived,
+    ReadServed,
+    SourceUpdate,
+    TraceEvent,
+    event_from_dict,
+)
+
+__all__ = ["Violation", "CheckReport", "InvariantChecker", "check_events"]
+
+#: Tolerance for event times that json round-tripping might perturb.
+_TIME_EPSILON = 1e-9
+
+
+@dataclass
+class Violation:
+    """One broken invariant, anchored to the read (or event) that broke it."""
+
+    invariant: str  # "strong" | "delta" | "weak-monotone" | "validity" | "time-order"
+    time: float
+    node: int
+    item: int
+    served_version: int
+    detail: str
+
+    def format(self) -> str:
+        """One human-readable line."""
+        return (
+            f"[{self.invariant}] t={self.time:.3f} node={self.node} "
+            f"item={self.item} served=v{self.served_version}: {self.detail}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Outcome of replaying one trace through the checker."""
+
+    events: int = 0
+    reads_checked: int = 0
+    fallback_reads: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when every invariant held."""
+        return not self.violations
+
+    def by_invariant(self) -> Dict[str, int]:
+        """Violation counts keyed by invariant name."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return counts
+
+    def format(self, max_violations: int = 20) -> str:
+        """Multi-line summary suitable for CLI output."""
+        lines = [
+            f"trace events: {self.events}",
+            f"reads checked: {self.reads_checked} "
+            f"({self.fallback_reads} fallback-exempt)",
+        ]
+        if self.ok:
+            lines.append("invariants: OK — no violations")
+            return "\n".join(lines)
+        lines.append(f"invariants: FAILED — {len(self.violations)} violation(s)")
+        for name, count in sorted(self.by_invariant().items()):
+            lines.append(f"  {name}: {count}")
+        for violation in self.violations[:max_violations]:
+            lines.append("  " + violation.format())
+        if len(self.violations) > max_violations:
+            lines.append(f"  ... {len(self.violations) - max_violations} more")
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Streaming checker: feed events in order, then read the report.
+
+    Parameters
+    ----------
+    delta:
+        The Δ bound in seconds (for RPCC runs this is TTP, Section 4.4).
+    slack:
+        Grace window for answers already in flight when newer knowledge
+        arrives; see the module docstring.
+    """
+
+    def __init__(self, delta: float = 240.0, slack: float = 1.0) -> None:
+        self.delta = float(delta)
+        self.slack = float(slack)
+        self.report = CheckReport()
+        # item -> ground-truth current version (from source_update events)
+        self._current: Dict[int, int] = {}
+        # (node, item) -> parallel (versions, delivery times), both strictly
+        # increasing: the node's delivered-invalidation knowledge.
+        self._known: Dict[Tuple[int, int], Tuple[List[int], List[float]]] = {}
+        # (node, item) -> last version served from the node's own copy
+        self._last_local: Dict[Tuple[int, int], int] = {}
+        self._last_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, event: Union[TraceEvent, Dict]) -> None:
+        """Process one event (typed, or its ``to_dict`` form)."""
+        if isinstance(event, dict):
+            event = event_from_dict(event)
+        self.report.events += 1
+        self._check_time_order(event)
+        if isinstance(event, ReadServed):
+            self._on_read(event)
+        elif isinstance(event, InvalidationReceived):
+            self._on_invalidation(event)
+        elif isinstance(event, SourceUpdate):
+            current = self._current.get(event.item, 0)
+            if event.version > current:
+                self._current[event.item] = event.version
+            # The source's own knowledge is trivially complete.
+            self._learn(event.node, event.item, event.version, event.time)
+
+    def feed_all(self, events: Iterable[Union[TraceEvent, Dict]]) -> "InvariantChecker":
+        """Feed a whole trace; returns ``self`` for chaining."""
+        for event in events:
+            self.feed(event)
+        return self
+
+    def finish(self) -> CheckReport:
+        """The accumulated report (the checker stays usable)."""
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _check_time_order(self, event: TraceEvent) -> None:
+        if event.time < self._last_time - _TIME_EPSILON:
+            self._violate(
+                "time-order",
+                event.time,
+                getattr(event, "node", -1),
+                getattr(event, "item", -1),
+                getattr(event, "version", -1),
+                f"timestamp went backwards ({self._last_time:.6f} -> "
+                f"{event.time:.6f})",
+            )
+        self._last_time = max(self._last_time, event.time)
+
+    def _on_invalidation(self, event: InvalidationReceived) -> None:
+        self._learn(event.node, event.item, event.version, event.time)
+
+    def _learn(self, node: int, item: int, version: int, time: float) -> None:
+        versions, times = self._known.setdefault((node, item), ([], []))
+        if versions and version <= versions[-1]:
+            return  # stale or duplicate delivery adds no knowledge
+        versions.append(version)
+        times.append(time)
+
+    def _on_read(self, read: ReadServed) -> None:
+        self.report.reads_checked += 1
+        if read.fallback:
+            self.report.fallback_reads += 1
+        current = self._current.get(read.item, 0)
+        if read.version > current:
+            self._violate(
+                "validity",
+                read.time,
+                read.node,
+                read.item,
+                read.version,
+                f"served version exceeds ground truth v{current} "
+                "(incomplete trace or corrupted versioning)",
+            )
+        if read.level == "weak" or not read.remote:
+            self._check_weak_monotone(read)
+        if read.fallback:
+            return
+        if read.level == "strong":
+            self._check_floor(read, "strong", self.slack)
+        elif read.level == "delta":
+            self._check_floor(read, "delta", self.delta + self.slack)
+
+    def _check_weak_monotone(self, read: ReadServed) -> None:
+        """Versions served from a node's own copy never go backwards."""
+        if read.remote:
+            return  # a remote holder's copy is a different version sequence
+        key = (read.node, read.item)
+        last = self._last_local.get(key)
+        if last is not None and read.version < last and read.level == "weak":
+            self._violate(
+                "weak-monotone",
+                read.time,
+                read.node,
+                read.item,
+                read.version,
+                f"older than previously served v{last} at the same node",
+            )
+        if last is None or read.version > last:
+            self._last_local[key] = read.version
+
+    def _check_floor(self, read: ReadServed, invariant: str, allowance: float) -> None:
+        """Did the node *know* of a newer version ``allowance`` seconds ago?"""
+        known = self._known.get((read.node, read.item))
+        if known is None:
+            return
+        versions, times = known
+        # First delivered version strictly newer than what was served:
+        index = bisect.bisect_right(versions, read.version)
+        if index >= len(versions):
+            return  # nothing newer was ever delivered to this node
+        knew_at = times[index]
+        lag = read.time - knew_at
+        if lag > allowance + _TIME_EPSILON:
+            self._violate(
+                invariant,
+                read.time,
+                read.node,
+                read.item,
+                read.version,
+                f"node learned of v{versions[index]} at t={knew_at:.3f} "
+                f"({lag:.3f}s before the serve; allowance {allowance:.3f}s)",
+            )
+
+    def _violate(
+        self,
+        invariant: str,
+        time: float,
+        node: int,
+        item: int,
+        served_version: int,
+        detail: str,
+    ) -> None:
+        self.report.violations.append(
+            Violation(invariant, time, node, item, served_version, detail)
+        )
+
+
+def check_events(
+    events: Iterable[Union[TraceEvent, Dict]],
+    delta: float = 240.0,
+    slack: float = 1.0,
+) -> CheckReport:
+    """One-shot convenience: replay ``events`` and return the report."""
+    return InvariantChecker(delta=delta, slack=slack).feed_all(events).finish()

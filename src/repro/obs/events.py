@@ -1,0 +1,338 @@
+"""Typed trace events: the observable vocabulary of a simulation run.
+
+Every protocol-relevant moment — a query being issued, a cache hit, an
+invalidation landing at a node, a relay promotion — is captured as one
+small dataclass carrying the simulation time plus the identifiers needed
+to reconstruct the protocol dynamics afterwards.  Events serialise to
+flat JSON dictionaries (``{"e": <type>, "t": <time>, ...fields}``), one
+per JSONL line, and deserialise back through :func:`event_from_dict`, so
+a trace written by one process can be replayed — e.g. through
+:class:`repro.obs.checker.InvariantChecker` — by another.
+
+The taxonomy (see docs/OBSERVABILITY.md):
+
+=====================  =============================================
+query lifecycle        :class:`QueryIssued`, :class:`CacheHit`,
+                       :class:`CacheMiss`, :class:`ReadServed`
+source activity        :class:`SourceUpdate`, :class:`InvalidationSent`
+dissemination          :class:`InvalidationReceived`
+validation traffic     :class:`PollSent`, :class:`PollAnswered`,
+                       :class:`FetchStarted`, :class:`FetchCompleted`
+relay overlay          :class:`RelayPromoted`, :class:`RelayDemoted`
+node churn             :class:`NodeOnline`, :class:`NodeOffline`
+bookkeeping            :class:`MetricsReset`
+=====================  =============================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, ClassVar, Dict, IO, Iterable, Iterator, List, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TraceEvent",
+    "QueryIssued",
+    "CacheHit",
+    "CacheMiss",
+    "ReadServed",
+    "SourceUpdate",
+    "InvalidationSent",
+    "InvalidationReceived",
+    "PollSent",
+    "PollAnswered",
+    "FetchStarted",
+    "FetchCompleted",
+    "RelayPromoted",
+    "RelayDemoted",
+    "NodeOnline",
+    "NodeOffline",
+    "MetricsReset",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "event_to_dict",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+@dataclasses.dataclass
+class TraceEvent:
+    """Base class: every event carries the simulation time it occurred."""
+
+    etype: ClassVar[str] = "event"
+
+    time: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready dictionary (``e`` = type tag, then the fields)."""
+        payload: Dict[str, Any] = {"e": self.etype, "time": self.time}
+        for field in dataclasses.fields(self):
+            if field.name != "time":
+                payload[field.name] = getattr(self, field.name)
+        return payload
+
+
+@dataclasses.dataclass
+class QueryIssued(TraceEvent):
+    """A workload query entered the system at ``node``."""
+
+    etype: ClassVar[str] = "query_issued"
+    node: int = 0
+    item: int = 0
+    level: str = "strong"
+    query_id: int = 0
+
+
+@dataclasses.dataclass
+class CacheHit(TraceEvent):
+    """The querying node holds a copy (or sources the item)."""
+
+    etype: ClassVar[str] = "cache_hit"
+    node: int = 0
+    item: int = 0
+    version: int = 0
+
+
+@dataclasses.dataclass
+class CacheMiss(TraceEvent):
+    """The querying node holds no copy; discovery takes over."""
+
+    etype: ClassVar[str] = "cache_miss"
+    node: int = 0
+    item: int = 0
+
+
+@dataclasses.dataclass
+class ReadServed(TraceEvent):
+    """A query was answered at its issuing node.
+
+    ``fallback`` marks answers served *without* the level's validation
+    completing (push give-up, pull poll exhaustion, RPCC forced-stale,
+    offline self-serves) — the invariant checker exempts them from the
+    strong/Δ contracts but still audits weak monotonicity and validity.
+    ``remote`` marks answers fetched from another holder's copy.
+    """
+
+    etype: ClassVar[str] = "read_served"
+    node: int = 0
+    item: int = 0
+    version: int = 0
+    level: str = "strong"
+    query_id: int = 0
+    served_locally: bool = False
+    remote: bool = False
+    fallback: bool = False
+    cache_hit: bool = False
+    latency: float = 0.0
+    staleness_age: float = 0.0
+
+
+@dataclasses.dataclass
+class SourceUpdate(TraceEvent):
+    """The source host advanced its master copy to ``version``."""
+
+    etype: ClassVar[str] = "source_update"
+    node: int = 0
+    item: int = 0
+    version: int = 0
+
+
+@dataclasses.dataclass
+class InvalidationSent(TraceEvent):
+    """A source flooded an invalidation (``protocol``: push or rpcc)."""
+
+    etype: ClassVar[str] = "invalidation_sent"
+    node: int = 0
+    item: int = 0
+    version: int = 0
+    ttl: int = 0
+    protocol: str = "rpcc"
+
+
+@dataclasses.dataclass
+class InvalidationReceived(TraceEvent):
+    """An invalidation was *delivered* to ``node`` (network layer).
+
+    This is the checker's knowledge feed: once a node received version
+    ``v`` it must never serve an older version to a strong read.
+    """
+
+    etype: ClassVar[str] = "invalidation_received"
+    node: int = 0
+    item: int = 0
+    version: int = 0
+
+
+@dataclasses.dataclass
+class PollSent(TraceEvent):
+    """A validation poll left ``node`` (``stage`` names the ladder rung)."""
+
+    etype: ClassVar[str] = "poll_sent"
+    node: int = 0
+    item: int = 0
+    poll_id: int = 0
+    stage: str = "source"
+    ttl: int = 0
+
+
+@dataclasses.dataclass
+class PollAnswered(TraceEvent):
+    """A poll acknowledgement settled the query at ``node``.
+
+    ``fresh`` is ``True`` when the poller's copy was confirmed current
+    (ACK_A / up-to-date reply) and ``False`` when new content came back.
+    """
+
+    etype: ClassVar[str] = "poll_answered"
+    node: int = 0
+    item: int = 0
+    poll_id: int = 0
+    version: int = 0
+    fresh: bool = True
+
+
+@dataclasses.dataclass
+class FetchStarted(TraceEvent):
+    """A content refresh was requested from ``target`` (the source)."""
+
+    etype: ClassVar[str] = "fetch_started"
+    node: int = 0
+    item: int = 0
+    target: int = 0
+    kind: str = "push-refresh"
+
+
+@dataclasses.dataclass
+class FetchCompleted(TraceEvent):
+    """Fresh content landed, the local copy now holds ``version``."""
+
+    etype: ClassVar[str] = "fetch_completed"
+    node: int = 0
+    item: int = 0
+    version: int = 0
+    kind: str = "push-refresh"
+
+
+@dataclasses.dataclass
+class RelayPromoted(TraceEvent):
+    """``node`` became a relay peer for ``item`` (Fig 5: CANDIDATE→RELAY)."""
+
+    etype: ClassVar[str] = "relay_promoted"
+    node: int = 0
+    item: int = 0
+
+
+@dataclasses.dataclass
+class RelayDemoted(TraceEvent):
+    """``node`` resigned its relay role for ``item``."""
+
+    etype: ClassVar[str] = "relay_demoted"
+    node: int = 0
+    item: int = 0
+    reason: str = "resigned"
+
+
+@dataclasses.dataclass
+class NodeOnline(TraceEvent):
+    """``node`` switched on (Section 4.5 churn)."""
+
+    etype: ClassVar[str] = "node_online"
+    node: int = 0
+
+
+@dataclasses.dataclass
+class NodeOffline(TraceEvent):
+    """``node`` switched off."""
+
+    etype: ClassVar[str] = "node_offline"
+    node: int = 0
+
+
+@dataclasses.dataclass
+class MetricsReset(TraceEvent):
+    """The warm-up window closed; metrics were reset."""
+
+    etype: ClassVar[str] = "metrics_reset"
+
+
+#: Type-tag registry used by :func:`event_from_dict`.
+EVENT_TYPES: Dict[str, type] = {
+    cls.etype: cls
+    for cls in (
+        QueryIssued,
+        CacheHit,
+        CacheMiss,
+        ReadServed,
+        SourceUpdate,
+        InvalidationSent,
+        InvalidationReceived,
+        PollSent,
+        PollAnswered,
+        FetchStarted,
+        FetchCompleted,
+        RelayPromoted,
+        RelayDemoted,
+        NodeOnline,
+        NodeOffline,
+        MetricsReset,
+    )
+}
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """Serialise one event (module-level alias of :meth:`TraceEvent.to_dict`)."""
+    return event.to_dict()
+
+
+def event_from_dict(payload: Dict[str, Any]) -> TraceEvent:
+    """Reconstruct a typed event from its :meth:`~TraceEvent.to_dict` form."""
+    fields = dict(payload)
+    tag = fields.pop("e", None)
+    cls = EVENT_TYPES.get(tag)
+    if cls is None:
+        raise ConfigurationError(f"unknown trace event type {tag!r}")
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ConfigurationError(f"malformed {tag!r} event: {exc}") from None
+
+
+def write_jsonl(events: Iterable[TraceEvent], target: Union[str, IO[str]]) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    if hasattr(target, "write"):
+        return _write_stream(events, target)  # type: ignore[arg-type]
+    with open(target, "w", encoding="utf-8") as handle:
+        return _write_stream(events, handle)
+
+
+def _write_stream(events: Iterable[TraceEvent], handle: IO[str]) -> int:
+    count = 0
+    for event in events:
+        handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Load a JSONL trace back into typed events."""
+    return list(iter_jsonl(source))
+
+
+def iter_jsonl(source: Union[str, IO[str]]) -> Iterator[TraceEvent]:
+    """Stream a JSONL trace as typed events (blank lines are skipped)."""
+    if hasattr(source, "read"):
+        yield from _iter_stream(source)  # type: ignore[arg-type]
+        return
+    with open(source, "r", encoding="utf-8") as handle:
+        yield from _iter_stream(handle)
+
+
+def _iter_stream(handle: IO[str]) -> Iterator[TraceEvent]:
+    for line in handle:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))

@@ -1,0 +1,87 @@
+"""Trace sinks: where emitted events end up.
+
+* :class:`ListSink` — in-memory accumulation (tests, digests, ad-hoc
+  analysis);
+* :class:`JsonlSink` — streaming JSON-Lines export, one event per line,
+  readable back via :func:`repro.obs.events.read_jsonl`;
+* :class:`NullSink` — explicit discard (useful to measure pure emit
+  overhead with tracing *enabled*).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Protocol, TextIO, Union
+
+from repro.obs.events import TraceEvent
+
+__all__ = ["TraceSink", "ListSink", "JsonlSink", "NullSink"]
+
+
+class TraceSink(Protocol):
+    """Anything that can receive trace events from a bus."""
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Receive one event."""
+
+    def close(self) -> None:
+        """Flush/close underlying resources."""
+
+
+class ListSink:
+    """Accumulates every event in order (``.events``)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Streams events to a JSONL file (or any open text handle)."""
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        if hasattr(target, "write"):
+            self._handle: Optional[TextIO] = target  # type: ignore[assignment]
+            self._owns_handle = False
+            self.path: Optional[str] = getattr(target, "name", None)
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+            self.path = str(target)
+        self.events_written = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        assert self._handle is not None, "sink already closed"
+        self._handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        if self._owns_handle:
+            self._handle.close()
+        else:
+            self._handle.flush()
+        self._handle = None
+
+
+class NullSink:
+    """Receives and discards (keeps only a count)."""
+
+    def __init__(self) -> None:
+        self.events_seen = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+
+    def close(self) -> None:
+        return None

@@ -31,6 +31,7 @@ import math
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SchedulingError, SimulationError
+from repro.obs.bus import NULL_TRACE
 
 __all__ = ["EventHandle", "Simulator"]
 
@@ -104,6 +105,9 @@ class Simulator:
         self._events_processed = 0
         self._pending = 0
         self._running = False
+        #: Trace bus consulted by instrumented subsystems.  Defaults to the
+        #: shared no-op bus so emit sites cost one attribute load + branch.
+        self.trace = NULL_TRACE
 
     # ------------------------------------------------------------------
     # Clock
@@ -129,6 +133,21 @@ class Simulator:
 
     def _note_cancel(self) -> None:
         self._pending -= 1
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def attach_trace(self, bus) -> None:
+        """Route trace events from this simulation into ``bus``.
+
+        Subsystems read ``sim.trace`` lazily at each emit site, so a bus
+        may be attached (or swapped) at any point of a run.
+        """
+        self.trace = bus
+
+    def detach_trace(self) -> None:
+        """Restore the no-op bus; subsequent events are discarded."""
+        self.trace = NULL_TRACE
 
     # ------------------------------------------------------------------
     # Scheduling
