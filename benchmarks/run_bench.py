@@ -12,7 +12,12 @@ file:
   printed and recorded in the result metadata;
 * ``trace`` — the observability layer of ``bench_trace.py`` (the same
   run untraced, with a null sink, and with JSONL export), gated against
-  ``BENCH_trace.json``.
+  ``BENCH_trace.json``;
+* ``topology`` — the incremental snapshot pipeline of
+  ``bench_topology.py`` (pause-heavy 200/1000-node refresh walks,
+  incremental vs from-scratch, plus the churn-heavy worst case), gated
+  against ``BENCH_topology.json``; the incremental speedups land in the
+  result metadata.
 
 Usage::
 
@@ -56,11 +61,11 @@ from repro.mobility.waypoint import RandomWaypoint  # noqa: E402
 from repro.net.topology import TopologySnapshot  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
-SUITES = ("kernel", "sweep", "trace")
+SUITES = ("kernel", "sweep", "trace", "topology")
 
 #: Timing repetitions per suite (the best is kept).  The sweep campaign
 #: is seconds-per-iteration, so it repeats less than the ms-scale kernels.
-SUITE_REPEATS = {"kernel": 5, "sweep": 2, "trace": 3}
+SUITE_REPEATS = {"kernel": 5, "sweep": 2, "trace": 3, "topology": 3}
 
 #: Per-suite gate overrides.  The kernel suite runs the hot paths the
 #: trace emit sites were added to, so it gets a tightened 5% budget —
@@ -161,6 +166,10 @@ def suite_benchmarks(
         from benchmarks.bench_trace import trace_benchmarks
 
         return trace_benchmarks(workdir)
+    if suite == "topology":
+        from benchmarks.bench_topology import topology_benchmarks
+
+        return topology_benchmarks(workdir)
     raise ValueError(f"unknown suite {suite!r}")
 
 
@@ -283,6 +292,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         meta: Dict[str, object] = {"repeats": repeats}
         if suite == "sweep":
             for name, value in sweep_speedups(results).items():
+                meta[name] = round(value, 3)
+                print(f"  {name:<24} {value:10.2f}x")
+        elif suite == "topology":
+            from benchmarks.bench_topology import topology_speedups
+
+            for name, value in topology_speedups(results).items():
                 meta[name] = round(value, 3)
                 print(f"  {name:<24} {value:10.2f}x")
 

@@ -89,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--trace", metavar="PATH",
                             help="also record a JSONL event trace to PATH "
                             "(bypasses the result cache)")
+    run_parser.add_argument("--profile", metavar="OUT.pstats",
+                            help="run under cProfile and write pstats data "
+                            "to this path (bypasses the result cache)")
 
     trace_parser = sub.add_parser(
         "trace",
@@ -147,7 +150,10 @@ def _report_cache(executor: CampaignExecutor) -> None:
 
 
 def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
-    if getattr(args, "trace", None):
+    if getattr(args, "profile", None):
+        result = _run_profiled(_config(args), args.spec, args.scenario, args.profile)
+        print(f"profile: pstats data -> {args.profile}")
+    elif getattr(args, "trace", None):
         # A traced run is never cache-served: the cache stores metrics,
         # not event streams, and a hit would leave the trace file empty.
         result, events_written = _run_traced(
@@ -161,6 +167,35 @@ def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
         print(f"\nmean relay population: {result.mean_relay_count:.1f}")
     print(f"events processed: {result.events_processed:,} "
           f"in {result.wall_clock_seconds:.1f}s wall clock")
+    stats = getattr(result, "topology_stats", None)
+    if stats:
+        print("topology: "
+              f"{stats.get('snapshots_built', 0)} built, "
+              f"{stats.get('snapshots_reused', 0)} reused, "
+              f"{stats.get('incremental_updates', 0)} incremental "
+              f"({stats.get('bfs_trees_retained', 0)} BFS trees retained)")
+
+
+def _run_profiled(config: SimulationConfig, spec: str, scenario: str, out_path: str):
+    """Run one simulation under cProfile; dump pstats data to ``out_path``.
+
+    Only the simulation loop is profiled (not argument parsing or module
+    import), and the run always executes — serving a cached result would
+    profile nothing.
+    """
+    import cProfile
+
+    from repro.experiments.runner import build_simulation
+
+    simulation = build_simulation(config, spec, scenario)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = simulation.run()
+    finally:
+        profiler.disable()
+    profiler.dump_stats(out_path)
+    return result
 
 
 def _run_traced(config: SimulationConfig, spec: str, scenario: str, out_path: str):

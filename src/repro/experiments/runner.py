@@ -91,6 +91,9 @@ class SimulationResult:
     mean_battery_fraction: float = 0.0
     wall_clock_seconds: float = 0.0
     events_processed: int = 0
+    #: TopologyService counters (snapshots built/reused, incremental
+    #: updates, retained BFS trees, invalidations) at end of run.
+    topology_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def transmissions_per_minute(self) -> float:
@@ -183,6 +186,7 @@ class Simulation:
             mean_battery_fraction=fraction,
             wall_clock_seconds=elapsed,
             events_processed=self.sim.events_processed,
+            topology_stats=self.network.topology.stats(),
         )
 
     def _sample_traffic(self) -> None:

@@ -85,6 +85,15 @@ class GroupMember(MobilityModel):
             )
         )
 
+    def position_valid_until(self, time: float) -> float:
+        """With jitter the member wobbles every instant; without it the
+        member is pinned exactly while the reference point is (the offset
+        arithmetic is deterministic, so equal anchors give equal positions).
+        """
+        if self.jitter > 0.0:
+            return time
+        return self.reference.position_valid_until(time)
+
 
 def make_group(
     terrain: Terrain,

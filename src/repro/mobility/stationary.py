@@ -6,6 +6,8 @@ where deterministic geometry makes results easy to reason about.
 
 from __future__ import annotations
 
+import bisect
+import math
 from typing import List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -23,6 +25,9 @@ class Stationary(MobilityModel):
 
     def position(self, time: float) -> Point:
         return self.point
+
+    def position_valid_until(self, time: float) -> float:
+        return math.inf
 
     def speed_at(self, time: float, epsilon: float = 0.5) -> float:
         return 0.0
@@ -61,3 +66,26 @@ class PiecewiseLinear(MobilityModel):
                 fraction = (time - times[index]) / span
                 return points[index].interpolate(points[index + 1], fraction)
         return points[-1]  # unreachable, kept for safety
+
+    def position_valid_until(self, time: float) -> float:
+        times, points = self._times, self._points
+        if time >= times[-1]:
+            return math.inf
+        if time < times[0]:
+            # Parked at the first point until the trajectory starts.
+            end, segment = times[0], 0
+        else:
+            # Segment selection mirrors position(): at an exact waypoint
+            # time the *earlier* segment (fraction 1.0) is the one sampled.
+            segment = bisect.bisect_right(times, time) - 1
+            if segment > 0 and times[segment] == time:
+                segment -= 1
+            end = time
+        # Runs of equal waypoints (e.g. a replayed trace of a paused node)
+        # pin the position through every segment of the run.
+        while segment + 1 < len(points) and points[segment + 1] == points[segment]:
+            end = times[segment + 1]
+            segment += 1
+        if segment == len(points) - 1:
+            return math.inf  # constant through the final waypoint: parked forever
+        return end

@@ -49,7 +49,13 @@ class MobilityTrace:
         return sum(a.distance_to(b) for a, b in zip(self.points, self.points[1:]))
 
     def as_model(self) -> PiecewiseLinear:
-        """Replay the trace as a :class:`PiecewiseLinear` mobility model."""
+        """Replay the trace as a :class:`PiecewiseLinear` mobility model.
+
+        Runs of equal consecutive samples (a paused node) replay with full
+        ``position_valid_until`` windows spanning the whole run, so replays
+        benefit from the incremental topology pipeline exactly like the
+        original trajectory did.
+        """
         waypoints: List[Tuple[float, Point]] = [
             (self.start + k * self.interval, point)
             for k, point in enumerate(self.points)

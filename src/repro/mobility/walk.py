@@ -126,6 +126,10 @@ class RandomWalk(MobilityModel):
         index = bisect.bisect_right(self._epoch_starts, time) - 1
         return self._position_in_epoch(self._epochs[index], time)
 
+    def position_valid_until(self, time: float) -> float:
+        """A walker never pauses (``speed_min > 0``): no window beyond ``time``."""
+        return 0.0 if time <= 0.0 else time
+
     def speed_at(self, time: float, epsilon: float = 0.5) -> float:
         """Exact instantaneous speed (constant within an epoch)."""
         if time <= 0.0:

@@ -121,6 +121,23 @@ class RandomWaypoint(MobilityModel):
         index = bisect.bisect_right(self._leg_starts, time) - 1
         return self._legs[index].position(time)
 
+    def position_valid_until(self, time: float) -> float:
+        """Pause segments pin the position until the leg's ``end_time``.
+
+        While moving the position changes every instant, so the window
+        collapses to ``time`` itself.  The pause window includes the next
+        leg's departure instant: at ``end_time`` the node is still at the
+        waypoint (the new leg starts there with fraction 0).
+        """
+        if time <= 0.0:
+            time = 0.0  # parked at the origin until legs start at t=0
+        self._extend_to(time)
+        index = bisect.bisect_right(self._leg_starts, time) - 1
+        leg = self._legs[index]
+        if time >= leg.arrive_time or leg.arrive_time <= leg.start_time:
+            return leg.end_time
+        return time
+
     def speed_at(self, time: float, epsilon: float = 0.5) -> float:
         """Exact instantaneous speed: the leg speed while moving, 0 while paused."""
         if time <= 0.0:

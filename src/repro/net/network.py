@@ -75,6 +75,11 @@ class Network:
         self.router: Router = router if router is not None else ShortestPathRouter()
         self.traffic: TrafficObserver = traffic if traffic is not None else _NullTraffic()
         self._nodes: Dict[int, NetworkNode] = {}
+        # node id -> (position, valid_until): positions are re-sampled from
+        # the mobility model only once their validity window expires, and
+        # the *same* Point object is served until then so the topology
+        # service can detect unmoved nodes by identity.
+        self._position_ledger: Dict[int, Tuple[Point, float]] = {}
         self.topology = TopologyService(
             clock=lambda: sim.now,
             node_states=self._node_states,
@@ -92,9 +97,11 @@ class Network:
         """Add ``node`` to the network.  Node ids must be unique.
 
         Registration binds the node's state listener so that online/offline
-        flips invalidate the cached topology snapshot immediately —
+        flips mark the cached topology snapshot stale immediately —
         otherwise unicasts for the rest of the quantum could route through
-        a node that just went offline.
+        a node that just went offline.  The churn notice feeds the
+        incremental delta path: the next refresh patches the previous
+        snapshot rather than rebuilding it from scratch.
         """
         if node.node_id in self._nodes:
             raise TopologyError(f"node id {node.node_id!r} already registered")
@@ -102,7 +109,7 @@ class Network:
         node.bind_state_listener(self._on_node_state_change)
 
     def _on_node_state_change(self, node: NetworkNode) -> None:
-        self.topology.invalidate()
+        self.topology.note_churn(node.node_id)
         trace = self.sim.trace
         if trace.enabled:
             if node.online:
@@ -122,9 +129,26 @@ class Network:
         """All registered node ids, in registration order."""
         return list(self._nodes)
 
-    def _node_states(self) -> Iterable[Tuple[int, Point, bool]]:
+    def _node_states(self) -> Iterable[Tuple[int, Optional[Point], bool]]:
+        now = self.sim.now
+        ledger = self._position_ledger
         for node_id, node in self._nodes.items():
-            yield node_id, node.current_position(), node.online
+            if not node.online:
+                # Offline nodes are filtered out by the topology service,
+                # so the position is never read: skip the mobility model.
+                yield node_id, None, False
+                continue
+            entry = ledger.get(node_id)
+            if entry is not None and now <= entry[1]:
+                yield node_id, entry[0], True
+                continue
+            position = node.current_position()
+            valid_until = node.position_valid_until()
+            if valid_until > now:
+                ledger[node_id] = (position, valid_until)
+            else:
+                ledger.pop(node_id, None)
+            yield node_id, position, True
 
     def snapshot(self) -> TopologySnapshot:
         """Connectivity graph at the current instant."""

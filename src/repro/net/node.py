@@ -37,6 +37,18 @@ class NetworkNode(abc.ABC):
     def current_position(self) -> Point:
         """The node's position at the current simulation time."""
 
+    def position_valid_until(self) -> float:
+        """Absolute simulation time until which :meth:`current_position` is
+        guaranteed to return an equal position.
+
+        The network layer caches positions inside this window instead of
+        re-sampling the mobility model every topology refresh.  The default
+        gives no guarantee (``-inf``), which keeps simple test stand-ins
+        correct; hosts backed by a mobility model delegate to
+        :meth:`repro.mobility.MobilityModel.position_valid_until`.
+        """
+        return float("-inf")
+
     @abc.abstractmethod
     def deliver(self, message: Message) -> None:
         """Handle a message that arrived at this node."""

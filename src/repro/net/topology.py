@@ -24,12 +24,26 @@ keep them cheap without changing any observable result:
   ``hop_distance``, ``bfs_levels``, flood and reachability query against
   that snapshot.  Traffic bursts within a topology quantum therefore pay
   for BFS once and do dict lookups afterwards.
+* **Incremental snapshot pipeline.**  Long runs alternate movement with
+  pauses (random waypoint, Table 1), so most quanta change nothing.
+  :class:`TopologyService` diffs node state against the previous snapshot
+  each refresh: an *empty* delta returns the previous snapshot object
+  unchanged — warm BFS cache and all; a *small* delta (at most
+  ``delta_fraction`` of the nodes) applies :meth:`TopologySnapshot.from_delta`,
+  a copy-on-write update that re-buckets only the moved/churned nodes in
+  the spatial grid, recomputes only their candidate edges (insertion-order
+  rank kept, so traversal stays bit-identical to a from-scratch build) and
+  retains every memoised BFS tree whose connected component no edge change
+  touched — each retention guarded by a per-component edge fingerprint.
+  Large deltas fall back to the from-scratch build, which stays the
+  worst-case cost.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from bisect import insort
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
 from repro.mobility.terrain import Point
@@ -52,8 +66,16 @@ class TopologySnapshot:
     def __init__(self, positions: Dict[int, Point], radio_range: float) -> None:
         self.positions = dict(positions)
         self.radio_range = float(radio_range)
+        self._cell = self.radio_range if self.radio_range > 0 else 1.0
         self._adjacency: Dict[int, List[int]] = {node: [] for node in self.positions}
         self._neighbor_sets: Dict[int, frozenset] = {}
+        # The spatial-hash grid is kept after the build so from_delta can
+        # re-bucket moved nodes without rescanning the whole population.
+        self._grid: Dict[Tuple[int, int], List[Tuple[int, Point]]] = {}
+        # node -> hash of its ordered neighbour list, filled lazily by
+        # component_fingerprint / from_delta verification.  Never inherited
+        # across snapshots: each snapshot fingerprints its own actual lists.
+        self._edge_fp: Dict[int, int] = {}
         # source -> (levels, parents, items, prefix) of one full BFS, filled
         # lazily: items is levels as a list and prefix[d] counts nodes at
         # depth <= d, so depth-limited queries are a single list slice.
@@ -66,8 +88,8 @@ class TopologySnapshot:
     def _build_adjacency(self) -> None:
         # Uniform spatial hash: with cell size == radio range, any node
         # within range of a cell lies in that cell's 3x3 neighbourhood.
-        cell = self.radio_range if self.radio_range > 0 else 1.0
-        grid: Dict[Tuple[int, int], List[Tuple[int, Point]]] = {}
+        cell = self._cell
+        grid = self._grid
         for node, pos in self.positions.items():
             key = (math.floor(pos.x / cell), math.floor(pos.y / cell))
             grid.setdefault(key, []).append((node, pos))
@@ -104,6 +126,205 @@ class TopologySnapshot:
         self._neighbor_sets = {
             node: frozenset(neighbors) for node, neighbors in adjacency.items()
         }
+
+    # ------------------------------------------------------------------
+    # Incremental construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_delta(
+        cls,
+        prev: "TopologySnapshot",
+        positions: Dict[int, Point],
+        changed: Sequence[int],
+        verify_retention: bool = False,
+        order: Optional[Dict[int, int]] = None,
+    ) -> "TopologySnapshot":
+        """Build the snapshot for ``positions`` by patching ``prev``.
+
+        ``changed`` lists every node whose state differs from ``prev``:
+        moved (position changed), appeared (came online) or departed (went
+        offline).  All other nodes must be bit-identical in both snapshots.
+        ``positions`` must iterate in the same registration order a
+        from-scratch build would use.
+
+        The update is copy-on-write: ``prev`` is never mutated, and every
+        grid cell, adjacency list and frozen neighbour set the delta does
+        not touch is shared between the two snapshots.  BFS trees of
+        ``prev`` whose connected component no edge change touched are
+        carried over; with ``verify_retention`` each carried tree is
+        re-checked against a per-component edge fingerprint computed from
+        the actual neighbour lists of both snapshots (used by the property
+        tests; a mismatch raises :class:`TopologyError`).
+
+        ``order`` may supply the registration-rank map (``{node: rank}``
+        for ``enumerate(positions)``); callers that refresh repeatedly over
+        a stable population pass a cached one to skip the O(N) rebuild.
+        """
+        snap = cls.__new__(cls)
+        snap.positions = positions
+        snap.radio_range = prev.radio_range
+        cell = snap._cell = prev._cell
+        snap._edge_fp = {}
+        snap._bfs_cache = {}
+
+        grid = dict(prev._grid)
+        adjacency = dict(prev._adjacency)
+        neighbor_sets = dict(prev._neighbor_sets)
+        owned_cells: Set[Tuple[int, int]] = set()
+        owned_lists: Set[int] = set()
+        changed_set = set(changed)
+        touched = set(changed_set)
+
+        def own_cell(key: Tuple[int, int]) -> List[Tuple[int, Point]]:
+            members = grid.get(key)
+            if members is None:
+                members = grid[key] = []
+                owned_cells.add(key)
+            elif key not in owned_cells:
+                members = grid[key] = list(members)
+                owned_cells.add(key)
+            return members
+
+        def own_list(node: int) -> List[int]:
+            neighbors = adjacency[node]
+            if node not in owned_lists:
+                neighbors = adjacency[node] = list(neighbors)
+                owned_lists.add(node)
+            return neighbors
+
+        # Phase 1: detach every changed node that was online in prev — pull
+        # it out of its old grid cell and out of its neighbours' lists.  A
+        # node that merely *moved* keeps its dict keys in place (the stale
+        # values are overwritten below), so key order is disturbed only
+        # when a node appears — the one case that needs a re-key pass.
+        rekey = False
+        for node in changed:
+            old_pos = prev.positions.get(node)
+            if old_pos is None:
+                rekey = rekey or node in positions  # newly online
+                continue
+            own_cell(
+                (math.floor(old_pos.x / cell), math.floor(old_pos.y / cell))
+            ).remove((node, old_pos))
+            for neighbor in prev._adjacency[node]:
+                if neighbor in changed_set:
+                    continue  # rebuilt (or dropped) wholesale below
+                own_list(neighbor).remove(node)
+                touched.add(neighbor)
+            if node not in positions:  # departed: deletion keeps the
+                del adjacency[node]    # remaining keys' relative order
+                del neighbor_sets[node]
+
+        # Phase 2: attach every changed node that is online now.  The grid
+        # holds all unchanged nodes plus previously attached changed ones,
+        # so each changed-changed pair is discovered exactly once (by the
+        # later of the two attachments).  Neighbour lists stay sorted by
+        # registration rank, which keeps BFS traversal bit-identical to a
+        # from-scratch build.
+        if order is None:
+            order = {node: rank for rank, node in enumerate(positions)}
+        rank_of = order.__getitem__
+        limit_sq = snap.radio_range * snap.radio_range
+        for node in changed:
+            pos = positions.get(node)
+            if pos is None:
+                continue  # went offline
+            cell_x = math.floor(pos.x / cell)
+            cell_y = math.floor(pos.y / cell)
+            found: List[int] = []
+            for offset_x in (-1, 0, 1):
+                for offset_y in (-1, 0, 1):
+                    members = grid.get((cell_x + offset_x, cell_y + offset_y))
+                    if not members:
+                        continue
+                    for other, other_pos in members:
+                        dx = pos.x - other_pos.x
+                        dy = pos.y - other_pos.y
+                        if dx * dx + dy * dy <= limit_sq:
+                            found.append(other)
+            found.sort(key=rank_of)
+            adjacency[node] = found
+            owned_lists.add(node)
+            for other in found:
+                insort(own_list(other), node, key=rank_of)
+                touched.add(other)
+            own_cell((cell_x, cell_y)).append((node, pos))
+
+        for key in owned_cells:
+            if not grid[key]:
+                del grid[key]
+        for node in touched:
+            if node in adjacency:
+                neighbor_sets[node] = frozenset(adjacency[node])
+
+        snap._grid = grid
+        if rekey:
+            # A from-scratch build inserts keys in ``positions`` order, and
+            # downstream set/dict iteration (seed picking in
+            # connected_components, for one) is sensitive to insertion
+            # order under hash collisions.  Moves and departures preserve
+            # key order in place, but an appeared node lands at the end of
+            # both dicts, so rebuild them in registration order.  O(N)
+            # dict rebuilds; the values (lists/frozensets) stay shared.
+            snap._adjacency = {node: adjacency[node] for node in positions}
+            snap._neighbor_sets = {
+                node: neighbor_sets[node] for node in positions
+            }
+        else:
+            snap._adjacency = adjacency
+            snap._neighbor_sets = neighbor_sets
+
+        # Phase 3: carry over BFS trees from components no edge change
+        # touched.  ``touched`` is exactly the set of nodes whose neighbour
+        # list changed, so a tree is still valid iff it is disjoint from it
+        # (new nodes attach only to touched neighbours, hence stay
+        # unreachable from retained sources).
+        for source, tree in prev._bfs_cache.items():
+            levels = tree[0]
+            if len(touched) <= len(levels):
+                dirty = any(node in levels for node in touched)
+            else:
+                dirty = any(node in touched for node in levels)
+            if dirty:
+                continue
+            if verify_retention and prev.component_fingerprint(
+                source
+            ) != snap._fingerprint_over(levels):
+                raise TopologyError(
+                    f"retained BFS tree from {source} fails the component "
+                    "edge-fingerprint check (copy-on-write aliasing bug?)"
+                )
+            snap._bfs_cache[source] = tree
+        return snap
+
+    def _fingerprint_over(self, nodes: Iterable[int]) -> int:
+        """XOR of per-node edge fingerprints over ``nodes``.
+
+        Each per-node fingerprint hashes the node id plus its ordered
+        neighbour list, computed from this snapshot's actual adjacency (and
+        memoised per node), so equal component fingerprints mean every
+        listed node has an identical neighbourhood in both snapshots.
+        """
+        fingerprint = 0
+        edge_fp = self._edge_fp
+        adjacency = self._adjacency
+        for node in nodes:
+            node_fp = edge_fp.get(node)
+            if node_fp is None:
+                node_fp = edge_fp[node] = hash((node, tuple(adjacency[node])))
+            fingerprint ^= node_fp
+        return fingerprint
+
+    def component_fingerprint(self, node: int) -> int:
+        """Edge fingerprint of the connected component containing ``node``.
+
+        Two snapshots agree on a component's fingerprint iff every member
+        has an identical ordered neighbour list in both (modulo hash
+        collisions), which is the retention condition for carrying a
+        memoised BFS tree across an incremental update.
+        """
+        levels, _, _, _ = self._bfs_from(node)
+        return self._fingerprint_over(levels)
 
     # ------------------------------------------------------------------
     # Queries
@@ -264,19 +485,37 @@ class TopologyService:
     node_states:
         Callable returning the *current* iterable of ``(node_id, position,
         online)`` triples.  The network layer supplies this from its node
-        registry.
+        registry; the position of an offline node is never read (and may be
+        ``None``).
     radio_range:
         Disc-model communication range in metres.
     quantum:
         Snapshots are reused for this many seconds.  With 20 m/s peak node
         speed, a 1 s quantum bounds position error by 20 m — well under the
         250 m radio range.
+
+    Refreshes (new bucket, or churn inside the current one) diff the fresh
+    node state against the previous snapshot.  No change reuses the
+    previous snapshot object outright; a delta no larger than
+    ``delta_fraction`` of the population (with an absolute floor of
+    ``delta_floor`` nodes) patches it via
+    :meth:`TopologySnapshot.from_delta`; anything larger rebuilds from
+    scratch.  ``incremental = False`` disables both fast paths (every
+    refresh rebuilds), which the benchmarks use as the baseline.
+
+    Counters: ``snapshots_built`` counts from-scratch builds,
+    ``incremental_updates`` delta patches, ``snapshots_reused`` unchanged
+    reuses, ``bfs_trees_retained`` memoised BFS trees carried across
+    patches, and ``invalidations`` explicit churn/invalidate notices.
     """
+
+    delta_fraction = 0.25
+    delta_floor = 4
 
     def __init__(
         self,
         clock: Callable[[], float],
-        node_states: Callable[[], Iterable[Tuple[int, Point, bool]]],
+        node_states: Callable[[], Iterable[Tuple[int, Optional[Point], bool]]],
         radio_range: float,
         quantum: float = 1.0,
     ) -> None:
@@ -290,26 +529,94 @@ class TopologyService:
         self.quantum = float(quantum)
         self._cached: Optional[TopologySnapshot] = None
         self._cached_bucket: Optional[int] = None
+        self._dirty = False
+        # Registration-rank map reused across delta patches while the
+        # online membership is stable (invariant: non-None only when its
+        # keys equal the cached snapshot's).  Ranks depend solely on
+        # registry order, so consecutive pause-heavy refreshes skip the
+        # O(N) rebuild.
+        self._order: Optional[Dict[int, int]] = None
+        self.incremental = True
+        self.verify_retention = False
         self.snapshots_built = 0
         self.invalidations = 0
+        self.snapshots_reused = 0
+        self.incremental_updates = 0
+        self.bfs_trees_retained = 0
 
     def current(self) -> TopologySnapshot:
         """Return the snapshot for the current time bucket."""
         bucket = int(math.floor(self._clock() / self.quantum))
-        if self._cached is not None and bucket == self._cached_bucket:
-            return self._cached
+        cached = self._cached
+        if cached is not None and bucket == self._cached_bucket and not self._dirty:
+            return cached
         positions = {
             node_id: position
             for node_id, position, online in self._node_states()
             if online
         }
-        self._cached = TopologySnapshot(positions, self.radio_range)
         self._cached_bucket = bucket
+        self._dirty = False
+        if cached is not None and self.incremental:
+            old = cached.positions
+            # The network's position ledger hands back the same Point
+            # object while a node's validity window covers the refresh, so
+            # the common unmoved case short-circuits on identity.
+            changed = [
+                node
+                for node, pos in positions.items()
+                if (prev_pos := old.get(node)) is None
+                or (pos is not prev_pos and pos != prev_pos)
+            ]
+            if len(old) != len(positions) or changed:
+                changed.extend(node for node in old if node not in positions)
+            if not changed:
+                self.snapshots_reused += 1
+                return cached
+            limit = max(self.delta_floor, int(len(positions) * self.delta_fraction))
+            if len(changed) <= limit:
+                order = self._order
+                if order is None or old.keys() != positions.keys():
+                    order = self._order = {
+                        node: rank for rank, node in enumerate(positions)
+                    }
+                snap = TopologySnapshot.from_delta(
+                    cached, positions, changed, self.verify_retention, order
+                )
+                self.incremental_updates += 1
+                self.bfs_trees_retained += len(snap._bfs_cache)
+                self._cached = snap
+                return snap
+        self._cached = TopologySnapshot(positions, self.radio_range)
         self.snapshots_built += 1
+        self._order = None
         return self._cached
 
+    def note_churn(self, node_id: int) -> None:
+        """Record that ``node_id`` flipped online/offline.
+
+        Marks the cached snapshot stale so the next :meth:`current` call
+        re-diffs node state even inside the current quantum, but keeps the
+        snapshot itself as the base for a delta patch — unlike
+        :meth:`invalidate`, which forces a from-scratch rebuild.
+        """
+        self._dirty = True
+        self.invalidations += 1
+
     def invalidate(self) -> None:
-        """Drop the cached snapshot (call after abrupt online/offline flips)."""
+        """Drop the cached snapshot entirely (next refresh rebuilds)."""
         self._cached = None
         self._cached_bucket = None
+        self._dirty = False
+        self._order = None
         self.invalidations += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for result reporting (CLI footer, benchmarks)."""
+        return {
+            "snapshots_built": self.snapshots_built,
+            "snapshots_reused": self.snapshots_reused,
+            "incremental_updates": self.incremental_updates,
+            "bfs_trees_retained": self.bfs_trees_retained,
+            "invalidations": self.invalidations,
+        }

@@ -107,6 +107,9 @@ class MobileHost(NetworkNode):
     def current_position(self) -> Point:
         return self.mobility.position(self.sim.now)
 
+    def position_valid_until(self) -> float:
+        return self.mobility.position_valid_until(self.sim.now)
+
     def deliver(self, message: Message) -> None:
         self.messages_handled += 1
         if self.agent is not None:

@@ -104,6 +104,8 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._pending = 0
+        self._tombstones = 0
+        self.heap_compactions = 0
         self._running = False
         #: Trace bus consulted by instrumented subsystems.  Defaults to the
         #: shared no-op bus so emit sites cost one attribute load + branch.
@@ -131,8 +133,32 @@ class Simulator:
         """
         return self._pending
 
+    @property
+    def heap_size(self) -> int:
+        """Current physical size of the event heap, tombstones included."""
+        return len(self._heap)
+
+    # Never compact tiny heaps: rebuilding a 20-entry list saves nothing.
+    _COMPACT_FLOOR = 64
+
     def _note_cancel(self) -> None:
         self._pending -= 1
+        self._tombstones += 1
+        # Cancelled events normally leave the heap lazily, when they reach
+        # the top.  Workloads that cancel most of what they schedule (e.g.
+        # timers rearmed on every message) can strand far-future tombstones
+        # below live events indefinitely, so once tombstones outnumber live
+        # entries rebuild the heap from the survivors.  heapify keeps the
+        # (time, seq) order, so pop order — and thus determinism — is
+        # unchanged.
+        if (
+            self._tombstones * 2 > len(self._heap)
+            and len(self._heap) >= self._COMPACT_FLOOR
+        ):
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
+            self.heap_compactions += 1
 
     # ------------------------------------------------------------------
     # Tracing
@@ -185,6 +211,7 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = event.time
             event.fired = True
@@ -227,6 +254,7 @@ class Simulator:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._tombstones -= 1
                     continue
                 if until is not None and head.time > until:
                     break

@@ -131,3 +131,101 @@ class TestPiecewiseLinear:
     def test_non_increasing_times_rejected(self):
         with pytest.raises(ConfigurationError):
             PiecewiseLinear([(5.0, Point(0, 0)), (5.0, Point(1, 1))])
+
+
+class TestPositionValidityWindows:
+    """The position_valid_until contract: position(s) == position(t) for
+    every s in [t, t'] — sampled, plus per-model structural checks."""
+
+    def check_contract(self, model, times, samples_per_window=5):
+        for t in times:
+            valid_until = model.position_valid_until(t)
+            assert valid_until >= t or valid_until == float("-inf")
+            if valid_until <= t:
+                continue
+            reference = model.position(t)
+            horizon = min(valid_until, t + 1000.0)
+            for k in range(samples_per_window):
+                s = t + (horizon - t) * k / (samples_per_window - 1)
+                assert model.position(s) == reference, (t, s, valid_until)
+
+    def test_stationary_is_valid_forever(self):
+        model = Stationary(Point(3, 4))
+        assert model.position_valid_until(0.0) == float("inf")
+        assert model.position_valid_until(1e9) == float("inf")
+
+    def test_waypoint_pause_windows(self, terrain):
+        model = make_waypoint(terrain, seed=11, pause_time=10.0)
+        times = [0.1 * k for k in range(0, 3000, 7)]
+        self.check_contract(model, times)
+        # At least one sampled instant must fall inside a pause and report
+        # a strictly later expiry (pause_time is 10 s, so pauses exist).
+        assert any(model.position_valid_until(t) > t for t in times)
+
+    def test_waypoint_moving_instant_has_empty_window(self, terrain):
+        model = make_waypoint(terrain, seed=3, pause_time=0.0)
+        # With zero pause the node is always moving after t=0.
+        for t in (0.5, 7.3, 42.0):
+            assert model.position_valid_until(t) == t
+
+    def test_waypoint_parked_before_time_zero(self, terrain):
+        model = make_waypoint(terrain, start=Point(50, 50))
+        assert model.position_valid_until(-5.0) <= 0.0
+        assert model.position(-5.0) == model.position(-1.0)
+
+    def test_piecewise_linear_windows(self):
+        hold = PiecewiseLinear([
+            (0.0, Point(0, 0)),
+            (10.0, Point(10, 0)),
+            (20.0, Point(10, 0)),   # held still 10..20
+            (30.0, Point(0, 0)),
+        ])
+        assert hold.position_valid_until(5.0) == 5.0
+        assert hold.position_valid_until(12.0) == 20.0
+        # At the exact waypoint time the sampled position comes from a
+        # fraction-1.0 interpolation of the *earlier* segment, which is not
+        # guaranteed bit-identical to the held point: stay conservative.
+        assert hold.position_valid_until(10.0) == 10.0
+        assert hold.position_valid_until(35.0) == float("inf")
+        self.check_contract(hold, [0.5 * k for k in range(70)])
+
+    def test_piecewise_linear_before_first_waypoint(self):
+        model = PiecewiseLinear([(10.0, Point(0, 0)), (20.0, Point(10, 0))])
+        assert model.position_valid_until(2.0) == 10.0
+        self.check_contract(model, [0.0, 2.0, 9.9, 10.0, 15.0, 25.0])
+
+    def test_random_walk_never_pauses(self, terrain):
+        from repro.mobility.walk import RandomWalk
+
+        model = RandomWalk(terrain, random.Random(5))
+        assert model.position_valid_until(3.0) == 3.0
+        assert model.position_valid_until(0.0) == 0.0
+
+    def test_group_member_delegates_without_jitter(self, terrain):
+        from repro.mobility.group import GroupMember
+
+        leader = Stationary(Point(100, 100))
+        member = GroupMember(terrain, leader, random.Random(2), jitter=0.0)
+        assert member.position_valid_until(7.0) == float("inf")
+        jittery = GroupMember(terrain, leader, random.Random(2), jitter=5.0)
+        assert jittery.position_valid_until(7.0) == 7.0
+
+    def test_trace_replay_has_pause_windows(self, terrain):
+        from repro.mobility.trace import record_trace
+
+        model = make_waypoint(
+            terrain, seed=9, pause_time=20.0, speed_min=10.0, speed_max=20.0
+        )
+        replay = record_trace(model, duration=600.0, interval=1.0).as_model()
+        times = [0.5 * k for k in range(1200)]
+        self.check_contract(replay, times)
+        assert any(replay.position_valid_until(t) > t for t in times)
+
+    def test_base_default_is_conservative(self):
+        from repro.mobility.base import MobilityModel
+
+        class Opaque(MobilityModel):
+            def position(self, time):
+                return Point(0, 0)
+
+        assert Opaque().position_valid_until(123.0) == 123.0

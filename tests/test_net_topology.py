@@ -292,13 +292,53 @@ class TestTopologyService:
         assert service.current() is first
         assert service.snapshots_built == 1
 
-    def test_snapshot_rebuilt_after_quantum(self):
+    def test_unmoved_snapshot_reused_after_quantum(self):
+        # The same Point objects are served each refresh, so the new bucket
+        # diffs to an empty delta and hands back the previous snapshot.
         states = [(0, Point(0, 0), True)]
         service, clock = self.make_service(states)
-        service.current()
+        first = service.current()
         clock["t"] = 1.5
-        service.current()
+        assert service.current() is first
+        assert service.snapshots_built == 1
+        assert service.snapshots_reused == 1
+
+    def test_moved_node_rebuilds_after_quantum(self):
+        states = [(0, Point(0, 0), True), (1, Point(100, 0), True)]
+        service, clock = self.make_service(states)
+        first = service.current()
+        clock["t"] = 1.5
+        states[0] = (0, Point(10, 0), True)
+        second = service.current()
+        assert second is not first
+        assert second.neighbors(0) == [1]
+        # Two movers out of two nodes exceed the delta threshold only when
+        # the fraction does; with one mover the patch path is taken.
+        assert service.snapshots_built + service.incremental_updates == 2
+
+    def test_incremental_disabled_always_rebuilds(self):
+        states = [(0, Point(0, 0), True)]
+        service, clock = self.make_service(states)
+        service.incremental = False
+        first = service.current()
+        clock["t"] = 1.5
+        second = service.current()
+        assert second is not first
         assert service.snapshots_built == 2
+        assert service.snapshots_reused == 0
+
+    def test_note_churn_rediffs_within_quantum(self):
+        states = [(0, Point(0, 0), True), (1, Point(100, 0), True)]
+        service, _ = self.make_service(states)
+        first = service.current()
+        assert first.nodes == {0, 1}
+        states[1] = (1, Point(100, 0), False)
+        service.note_churn(1)
+        second = service.current()
+        assert second.nodes == {0}
+        assert service.invalidations == 1
+        # The patched snapshot is cached: same bucket, no further churn.
+        assert service.current() is second
 
     def test_invalidate_forces_rebuild(self):
         states = [(0, Point(0, 0), True)]

@@ -226,3 +226,42 @@ class TestPendingCounter:
         sim.run()
         assert sim.pending_events == 0
         assert count[0] == 100
+
+
+class TestHeapCompaction:
+    """Cancelled tombstones are swept once they outnumber live events."""
+
+    def test_heap_stays_bounded_under_cancel_churn(self, sim):
+        # A rearmed-timer workload: every iteration schedules a far-future
+        # event and immediately cancels the previous one.  Without
+        # compaction the heap would grow to ~10_000 tombstones.
+        pending = None
+        for i in range(10_000):
+            fresh = sim.schedule(1_000.0 + i, lambda: None)
+            if pending is not None:
+                pending.cancel()
+            pending = fresh
+        assert sim.pending_events == 1
+        assert sim.heap_size <= 2 * Simulator._COMPACT_FLOOR
+        assert sim.heap_compactions > 0
+
+    def test_compaction_preserves_fire_order(self):
+        # Same live schedule in both simulators; one also schedules and
+        # cancels enough extra events to trigger compaction mid-build.
+        plain, compacted = Simulator(), Simulator()
+        order_plain, order_compacted = [], []
+        for i in range(200):
+            when = float((i * 37) % 100) + 1.0  # interleaved, with time ties
+            plain.schedule(when, order_plain.append, i)
+            compacted.schedule(when, order_compacted.append, i)
+            compacted.schedule(500.0 + i, order_compacted.append, -i).cancel()
+            compacted.schedule(700.0 + i, order_compacted.append, -i).cancel()
+        assert compacted.heap_compactions > 0
+        assert plain.run() == compacted.run() == 200
+        assert order_compacted == order_plain
+
+    def test_small_heaps_never_compact(self, sim):
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None).cancel()
+        assert sim.heap_compactions == 0
+        assert sim.heap_size == 10

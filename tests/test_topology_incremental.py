@@ -1,0 +1,261 @@
+"""Property tests for the incremental topology pipeline.
+
+Every test drives a :class:`TopologyService` through randomized sequences
+of movement, churn and quiet quanta, and asserts that each snapshot it
+hands out is *indistinguishable* from a from-scratch build: same node set
+in the same registration order, same adjacency lists in the same neighbour
+order, same BFS levels and discovery order, same components.  Retention of
+memoised BFS trees is verified against per-component edge fingerprints
+(``service.verify_retention``), so copy-on-write aliasing bugs fail loudly
+instead of producing subtly stale routes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mobility.terrain import Point, Terrain
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.net.topology import TopologySnapshot, TopologyService
+from repro.sim.engine import Simulator
+
+RANGE = 150.0
+
+
+def assert_snapshots_equivalent(candidate, reference):
+    """Bit-level equivalence of everything routing and flooding observe."""
+    assert list(candidate.positions) == list(reference.positions)
+    assert candidate.positions == reference.positions
+    for node in reference.positions:
+        assert candidate.neighbors(node) == reference.neighbors(node), node
+    assert candidate._neighbor_sets == reference._neighbor_sets
+    assert candidate.edge_count() == reference.edge_count()
+    for source in reference.positions:
+        candidate_levels = candidate.bfs_levels(source)
+        reference_levels = reference.bfs_levels(source)
+        assert candidate_levels == reference_levels
+        assert list(candidate_levels) == list(reference_levels)
+    assert candidate.connected_components() == reference.connected_components()
+
+
+class TestRandomizedEquivalence:
+    """Service-level sequences over a mutable node-state table."""
+
+    N = 30
+    SIZE = 600.0
+
+    def drive(self, seed, steps=45):
+        rng = random.Random(seed)
+        clock = {"t": 0.0}
+        # node id -> [position, online]; same Point object is yielded until
+        # the node moves, matching the network position ledger's behaviour.
+        states = {
+            i: [Point(rng.uniform(0, self.SIZE), rng.uniform(0, self.SIZE)), True]
+            for i in range(self.N)
+        }
+        service = TopologyService(
+            clock=lambda: clock["t"],
+            node_states=lambda: [
+                (i, pos, online) for i, (pos, online) in states.items()
+            ],
+            radio_range=RANGE,
+            quantum=1.0,
+        )
+        service.verify_retention = True
+        service.current()
+        for _ in range(steps):
+            if rng.random() < 0.25:
+                advanced = False  # stay inside the bucket: churn only
+                movers = []
+            else:
+                advanced = True
+                clock["t"] += rng.choice([1.0, 1.0, 2.5, 7.0])
+                count = rng.choice([0, 0, 1, 2, 4, self.N // 3, self.N])
+                movers = rng.sample(range(self.N), count)
+            for i in movers:
+                states[i][0] = Point(
+                    rng.uniform(0, self.SIZE), rng.uniform(0, self.SIZE)
+                )
+            churned = False
+            if rng.random() < 0.4:
+                i = rng.randrange(self.N)
+                states[i][1] = not states[i][1]
+                service.note_churn(i)
+                churned = True
+            if not churned and not advanced:
+                continue  # nothing would trigger a refresh this step
+            snapshot = service.current()
+            reference = TopologySnapshot(
+                {i: pos for i, (pos, online) in states.items() if online}, RANGE
+            )
+            assert_snapshots_equivalent(snapshot, reference)
+            # Warm the BFS cache so later deltas exercise tree retention.
+            online_ids = [i for i, (_, online) in states.items() if online]
+            for source in rng.sample(online_ids, min(6, len(online_ids))):
+                snapshot.bfs_levels(source)
+        return service
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incremental_matches_fresh(self, seed):
+        self.drive(seed)
+
+    def test_all_fast_paths_are_exercised(self):
+        built = reused = patched = retained = 0
+        for seed in range(6):
+            service = self.drive(seed)
+            built += service.snapshots_built
+            reused += service.snapshots_reused
+            patched += service.incremental_updates
+            retained += service.bfs_trees_retained
+        assert built > 6  # at least the initial builds plus large deltas
+        assert reused > 0
+        assert patched > 0
+        assert retained > 0
+
+
+class TestDeltaEdgeCases:
+    def make_positions(self, coords):
+        return {i: Point(x, y) for i, (x, y) in enumerate(coords)}
+
+    def test_from_delta_never_mutates_prev(self):
+        prev = TopologySnapshot(
+            self.make_positions([(0, 0), (100, 0), (200, 0), (600, 600)]), RANGE
+        )
+        prev.bfs_levels(0)
+        before_adj = {n: list(prev.neighbors(n)) for n in prev.positions}
+        before_grid = {k: list(v) for k, v in prev._grid.items()}
+        positions = dict(prev.positions)
+        positions[1] = Point(100, 50)
+        TopologySnapshot.from_delta(prev, positions, [1], verify_retention=True)
+        assert {n: list(prev.neighbors(n)) for n in prev.positions} == before_adj
+        assert {k: list(v) for k, v in prev._grid.items()} == before_grid
+
+    def test_far_component_bfs_tree_is_retained(self):
+        prev = TopologySnapshot(
+            self.make_positions([(0, 0), (100, 0), (600, 600), (700, 600)]), RANGE
+        )
+        prev.bfs_levels(2)  # warm the far component's tree
+        positions = dict(prev.positions)
+        positions[1] = Point(50, 50)
+        snap = TopologySnapshot.from_delta(prev, positions, [1], verify_retention=True)
+        assert snap.bfs_cache_size == 1
+        assert snap.bfs_levels(2) == {2: 0, 3: 1}
+
+    def test_touched_component_bfs_tree_is_dropped(self):
+        prev = TopologySnapshot(
+            self.make_positions([(0, 0), (100, 0), (600, 600), (700, 600)]), RANGE
+        )
+        prev.bfs_levels(0)
+        positions = dict(prev.positions)
+        positions[1] = Point(50, 50)
+        snap = TopologySnapshot.from_delta(prev, positions, [1], verify_retention=True)
+        assert snap.bfs_cache_size == 0
+
+    def test_node_appears_and_departs(self):
+        prev = TopologySnapshot(self.make_positions([(0, 0), (100, 0)]), RANGE)
+        # Node 2 appears next to 1; node 0 departs.
+        positions = {1: prev.positions[1], 2: Point(150, 0)}
+        snap = TopologySnapshot.from_delta(prev, positions, [0, 2])
+        reference = TopologySnapshot(positions, RANGE)
+        assert_snapshots_equivalent(snap, reference)
+
+    def test_simultaneous_movers_share_an_edge(self):
+        # Both endpoints of a fresh edge are in the delta: the edge must be
+        # discovered exactly once, whichever attaches second.
+        prev = TopologySnapshot(
+            self.make_positions([(0, 0), (500, 0), (1000, 0)]), RANGE
+        )
+        positions = dict(prev.positions)
+        positions[1] = Point(60, 0)
+        positions[2] = Point(120, 0)
+        snap = TopologySnapshot.from_delta(prev, positions, [1, 2])
+        reference = TopologySnapshot(positions, RANGE)
+        assert_snapshots_equivalent(snap, reference)
+
+
+class _RoamingNode(NetworkNode):
+    """Network stand-in whose position comes from a real mobility model."""
+
+    def __init__(self, node_id, sim, model):
+        self._id = node_id
+        self._sim = sim
+        self._model = model
+        self._online = True
+
+    @property
+    def node_id(self):
+        return self._id
+
+    @property
+    def online(self):
+        return self._online
+
+    def set_online(self, flag):
+        if flag != self._online:
+            self._online = flag
+            self.notify_state_change()
+
+    def current_position(self):
+        return self._model.position(self._sim.now)
+
+    def position_valid_until(self):
+        return self._model.position_valid_until(self._sim.now)
+
+    def deliver(self, message):
+        return None
+
+
+class TestThroughNetwork:
+    """End-to-end: ledger + churn notices + incremental service."""
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_network_snapshots_match_fresh_builds(self, seed):
+        rng = random.Random(seed)
+        terrain = Terrain(900.0, 900.0)
+        sim = Simulator()
+        net = Network(sim, radio_range=RANGE)
+        nodes = [
+            _RoamingNode(
+                i,
+                sim,
+                # Pause-heavy: legs take ~30 s, pauses 120 s, so once the
+                # initial all-moving transient passes most ticks see only
+                # a handful of movers — the incremental path's sweet spot.
+                RandomWaypoint(
+                    terrain,
+                    random.Random(seed * 1000 + i),
+                    speed_min=10.0,
+                    speed_max=20.0,
+                    pause_time=120.0,
+                ),
+            )
+            for i in range(20)
+        ]
+        for node in nodes:
+            net.register(node)
+        net.topology.verify_retention = True
+        for tick in range(1, 240):
+            sim.run_until(float(tick))
+            if rng.random() < 0.1:
+                nodes[rng.randrange(len(nodes))].set_online(False)
+            if rng.random() < 0.1:
+                nodes[rng.randrange(len(nodes))].set_online(True)
+            snapshot = net.snapshot()
+            if snapshot.positions:  # warm one tree to exercise retention
+                snapshot.bfs_levels(next(iter(snapshot.positions)))
+            reference = TopologySnapshot(
+                {
+                    node.node_id: node.current_position()
+                    for node in nodes
+                    if node.online
+                },
+                RANGE,
+            )
+            assert_snapshots_equivalent(snapshot, reference)
+        stats = net.topology.stats()
+        assert stats["incremental_updates"] > 0
+        assert stats["snapshots_reused"] > 0
