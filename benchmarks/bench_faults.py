@@ -1,0 +1,108 @@
+"""Fault-injection benchmarks: chaos must be cheap and disabled faults free.
+
+Four shapes of the same chaos-scale run (20 peers, 3+1 simulated minutes,
+RPCC strong, short switching interval so relays actually form):
+
+* **off** — ``faults=None``: the guard path every production run takes.
+  No injector, no degradation meter, no backoff; the hooks are
+  ``None``-checked attributes.  The kernel suite's tightened 5% gate is
+  the primary watchdog for this path; the entry here tracks the same
+  guarantee at full-simulation granularity.
+* **partition** — the shipped east-west spatial partition plan: topology
+  edge filtering plus degradation accounting.
+* **bursty-loss** — the shipped Gilbert–Elliott + delay-jitter plan: the
+  per-hop link hooks run on *every* unicast hop, the most invasive shape.
+* **crash-reboot** — scheduled node outages through the host lifecycle.
+
+``run_bench.py --suite faults`` gates all four against
+``BENCH_faults.json``; the pytest entry points assert the correctness
+side (disabled faults are bit-identical) and print measured overheads.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import build_simulation
+from repro.faults import FaultPlan
+
+from benchmarks.conftest import bench_config
+
+FAULT_SPEC = "rpcc-sc"
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples" / "faults"
+
+
+def faults_config(plan: Optional[FaultPlan] = None) -> SimulationConfig:
+    """Chaos-suite scale: small enough to repeat, relays form in-window."""
+    return bench_config(
+        n_peers=20,
+        sim_time=180.0,
+        warmup=60.0,
+        terrain_width=1000.0,
+        terrain_height=1000.0,
+        switch_interval=60.0,
+        faults=plan,
+    )
+
+
+def run_with_plan(plan: Optional[FaultPlan]):
+    return build_simulation(faults_config(plan), FAULT_SPEC, "standard").run()
+
+
+def _plan(name: str) -> FaultPlan:
+    return FaultPlan.load(EXAMPLES / f"{name}.json")
+
+
+def faults_benchmarks(workdir: str) -> List[Tuple[str, Callable[[], None]]]:
+    """Name -> one-iteration callable for every gated fault benchmark."""
+    partition = _plan("partition")
+    bursty = _plan("bursty_loss")
+    crash = _plan("crash_reboot")
+    return [
+        ("faults_off_run", lambda: run_with_plan(None)),
+        ("faults_partition_run", lambda: run_with_plan(partition)),
+        ("faults_bursty_loss_run", lambda: run_with_plan(bursty)),
+        ("faults_crash_reboot_run", lambda: run_with_plan(crash)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# pytest entry points: correctness first, measured overhead printed.
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_faults_are_bit_identical_at_bench_scale():
+    """faults=None and an empty plan take literally the same code path."""
+    off = run_with_plan(None)
+    empty = run_with_plan(FaultPlan())
+    assert off.summary == empty.summary
+    assert off.fault_stats == empty.fault_stats == {}
+
+
+def test_fault_overhead_is_bounded(capsys):
+    """Injected chaos costs something; it must never dominate the run."""
+    off = _best_of(lambda: run_with_plan(None))
+    partition = _best_of(lambda: run_with_plan(_plan("partition")))
+    bursty = _best_of(lambda: run_with_plan(_plan("bursty_loss")))
+    print(f"\n  faults off       {off * 1e3:9.1f} ms")
+    print(f"  partition        {partition * 1e3:9.1f} ms "
+          f"({partition / off:5.2f}x)")
+    print(f"  bursty loss      {bursty * 1e3:9.1f} ms "
+          f"({bursty / off:5.2f}x)")
+    # Generous bounds against shared-box noise; a hot-path regression
+    # (per-hop RNG draws on the fault-free path, say) would blow past
+    # them.  The tight gate is run_bench.py against BENCH_faults.json.
+    assert partition < off * 3.0
+    assert bursty < off * 3.0

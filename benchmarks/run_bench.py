@@ -17,7 +17,11 @@ file:
   ``bench_topology.py`` (pause-heavy 200/1000-node refresh walks,
   incremental vs from-scratch, plus the churn-heavy worst case), gated
   against ``BENCH_topology.json``; the incremental speedups land in the
-  result metadata.
+  result metadata;
+* ``faults`` — the fault-injection layer of ``bench_faults.py`` (the
+  same chaos-scale run fault-free and under the shipped partition,
+  bursty-loss, and crash-reboot plans), gated against
+  ``BENCH_faults.json``.
 
 Usage::
 
@@ -61,11 +65,11 @@ from repro.mobility.waypoint import RandomWaypoint  # noqa: E402
 from repro.net.topology import TopologySnapshot  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
-SUITES = ("kernel", "sweep", "trace", "topology")
+SUITES = ("kernel", "sweep", "trace", "topology", "faults")
 
 #: Timing repetitions per suite (the best is kept).  The sweep campaign
 #: is seconds-per-iteration, so it repeats less than the ms-scale kernels.
-SUITE_REPEATS = {"kernel": 5, "sweep": 2, "trace": 3, "topology": 3}
+SUITE_REPEATS = {"kernel": 5, "sweep": 2, "trace": 3, "topology": 3, "faults": 3}
 
 #: Per-suite gate overrides.  The kernel suite runs the hot paths the
 #: trace emit sites were added to, so it gets a tightened 5% budget —
@@ -170,6 +174,10 @@ def suite_benchmarks(
         from benchmarks.bench_topology import topology_benchmarks
 
         return topology_benchmarks(workdir)
+    if suite == "faults":
+        from benchmarks.bench_faults import faults_benchmarks
+
+        return faults_benchmarks(workdir)
     raise ValueError(f"unknown suite {suite!r}")
 
 

@@ -105,6 +105,21 @@ def build_parser() -> argparse.ArgumentParser:
                               help="JSONL trace output path")
     trace_parser.add_argument("--no-check", action="store_true",
                               help="skip the invariant checker replay")
+    trace_parser.add_argument("--delta", type=float, default=None,
+                              help="checker Δ bound in seconds "
+                              "(default: the run's TTP)")
+    trace_parser.add_argument("--slack", type=float, default=1.0,
+                              help="checker timing slack in seconds "
+                              "(default 1.0)")
+
+    for faulty in (run_parser, trace_parser):
+        faulty.add_argument("--loss-rate", type=float, default=0.0,
+                            help="uniform per-hop packet loss probability "
+                            "(default 0 = lossless)")
+        faulty.add_argument("--faults", metavar="PLAN.json",
+                            help="deterministic fault plan to inject "
+                            "(see docs/ROBUSTNESS.md; bypasses nothing — "
+                            "the plan is part of the result-cache key)")
 
     sub.add_parser("table1", help="print Table 1")
     sub.add_parser("compare", help="all six strategies at Table-1 defaults")
@@ -132,8 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config(args: argparse.Namespace) -> SimulationConfig:
+    extras = {}
+    if getattr(args, "loss_rate", 0.0):
+        extras["loss_rate"] = args.loss_rate
+    if getattr(args, "faults", None):
+        from repro.faults import FaultPlan
+
+        extras["faults"] = FaultPlan.load(args.faults)
     return SimulationConfig(
-        sim_time=args.sim_time, warmup=args.warmup, seed=args.seed
+        sim_time=args.sim_time, warmup=args.warmup, seed=args.seed, **extras
     )
 
 
@@ -174,6 +196,23 @@ def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
               f"{stats.get('snapshots_reused', 0)} reused, "
               f"{stats.get('incremental_updates', 0)} incremental "
               f"({stats.get('bfs_trees_retained', 0)} BFS trees retained)")
+    _print_fault_stats(result)
+
+
+def _print_fault_stats(result) -> None:
+    """Degradation footer for fault-injected runs (empty dict = silent)."""
+    stats = getattr(result, "fault_stats", None)
+    if not stats:
+        return
+    print("degradation: "
+          f"availability {stats.get('availability', 1.0):.3f}, "
+          f"stale-serve rate in partition "
+          f"{stats.get('stale_serve_rate_in_partition', 0.0):.3f} "
+          f"({stats.get('reads_in_partition', 0):.0f} reads over "
+          f"{stats.get('partition_seconds', 0.0):.0f}s partitioned), "
+          f"mean time-to-reconverge "
+          f"{stats.get('mean_time_to_reconverge', 0.0):.1f}s "
+          f"over {stats.get('heals_observed', 0):.0f} heals")
 
 
 def _run_profiled(config: SimulationConfig, spec: str, scenario: str, out_path: str):
@@ -220,10 +259,12 @@ def _command_trace(args: argparse.Namespace) -> int:
     result, events_written = _run_traced(config, args.spec, args.scenario, args.out)
     print(format_summary(result.summary, title=f"{args.spec} ({args.scenario})"))
     print(f"\ntrace: {events_written} events -> {args.out}")
+    _print_fault_stats(result)
     if args.no_check:
         return 0
     # Reload from disk: the check exercises the full export -> import path.
-    checker = InvariantChecker(delta=config.ttp)
+    delta = args.delta if args.delta is not None else config.ttp
+    checker = InvariantChecker(delta=delta, slack=args.slack)
     checker.feed_all(iter_jsonl(args.out))
     report = checker.finish()
     print()

@@ -49,6 +49,7 @@ from repro.obs.events import (
 )
 from repro.peers.host import MobileHost
 from repro.sim.engine import EventHandle
+from repro.sim.rng import derive_seed
 
 __all__ = [
     "StrategyContext",
@@ -58,7 +59,65 @@ __all__ = [
     "LocalJob",
     "RemoteJob",
     "PendingQuery",
+    "RetryBackoff",
 ]
+
+
+class RetryBackoff:
+    """Capped exponential backoff with deterministic, seeded jitter.
+
+    ``delay(base, attempt, key)`` grows the base wait by ``factor`` per
+    attempt up to ``cap``, then perturbs it by up to ``±jitter`` — the
+    perturbation is a pure hash of ``(seed, key, attempt)``, not a draw
+    from a shared RNG stream, so a retry's wait never depends on how
+    many *other* retries happened first.  That keeps fault-injected runs
+    replayable and, because the jitter keys on stable protocol identity
+    (node/item) rather than process-global request counters, keeps
+    latency distributions comparable across trace replays.
+
+    Parameters
+    ----------
+    factor:
+        Multiplicative growth per attempt (``>= 1``).
+    cap:
+        Upper bound on the un-jittered wait, in seconds.
+    jitter:
+        Half-width of the relative perturbation, in ``[0, 1)``; 0.1
+        means the final wait lands in ``[0.9x, 1.1x]``.
+    seed:
+        Run seed the jitter hash is derived from.
+    """
+
+    __slots__ = ("factor", "cap", "jitter", "seed")
+
+    _JITTER_BITS = 24  # hash-fraction resolution; plenty for a ±10% wobble
+
+    def __init__(
+        self,
+        factor: float = 2.0,
+        cap: float = 60.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if factor < 1.0:
+            raise ProtocolError(f"backoff factor must be >= 1, got {factor!r}")
+        if cap <= 0:
+            raise ProtocolError(f"backoff cap must be positive, got {cap!r}")
+        if not 0.0 <= jitter < 1.0:
+            raise ProtocolError(f"backoff jitter must be in [0, 1), got {jitter!r}")
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+
+    def delay(self, base: float, attempt: int, key: str) -> float:
+        """Wait before retry number ``attempt`` (1 = the first try)."""
+        raw = min(self.cap, base * self.factor ** max(0, attempt - 1))
+        if self.jitter > 0:
+            bucket = derive_seed(self.seed, f"backoff/{key}/{attempt}")
+            unit = (bucket % (1 << self._JITTER_BITS)) / float(1 << self._JITTER_BITS)
+            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return raw
 
 
 class StrategyContext:
@@ -87,6 +146,10 @@ class StrategyContext:
         query into its own cache.  Default ``False``: the paper assumes an
         *independent* replica-placement mechanism, and read-driven churn
         would constantly evict items out from under their relay roles.
+    backoff:
+        Optional :class:`RetryBackoff` applied to remote-query retry
+        waits.  ``None`` (the default) keeps the historical fixed wait —
+        and with it, bit-identical fault-free behaviour.
     """
 
     def __init__(
@@ -99,6 +162,7 @@ class StrategyContext:
         fetch_timeout: float = 5.0,
         max_fetch_attempts: int = 3,
         cache_on_read: bool = False,
+        backoff: Optional[RetryBackoff] = None,
     ) -> None:
         self.network = network
         self.catalog = catalog
@@ -108,6 +172,7 @@ class StrategyContext:
         self.fetch_timeout = float(fetch_timeout)
         self.max_fetch_attempts = int(max_fetch_attempts)
         self.cache_on_read = bool(cache_on_read)
+        self.backoff = backoff
 
     @property
     def sim(self):
@@ -164,6 +229,8 @@ class LocalJob(QueryJob):
         audit = metrics.staleness.record_read(
             self.item_id, version, agent.now, self.level.label, agent.context.delta
         )
+        if metrics.degradation is not None:
+            metrics.degradation.on_read(agent.now, audit.staleness_age > 0)
         trace = agent.context.sim.trace
         if trace.enabled:
             trace.emit(
@@ -434,6 +501,14 @@ class BaseAgent(abc.ABC):
         if not sent:
             # No route right now: try another holder after a short pause.
             timeout = min(1.0, timeout)
+        backoff = self.context.backoff
+        if backoff is not None:
+            # Applied after the no-route shortening so that repeated
+            # route failures (a partition, say) back off exponentially
+            # instead of hammering the dead route once a second.
+            timeout = backoff.delay(
+                timeout, pending.attempts, f"{self.node_id}/{pending.item_id}"
+            )
         pending.timeout_handle = self.context.sim.schedule(
             timeout, self._remote_query_timeout, request_id
         )

@@ -190,9 +190,17 @@ class CachePeerSide:
         )
         if stage == "relay":
             assert state.known_relay is not None
-            self.agent.send(state.known_relay, poll)
+            sent = self.agent.send(state.known_relay, poll)
             stage_ttl = 0
             timeout = self.config.poll_timeout
+            if not sent and self.config.fast_relay_failover:
+                # The unicast could not even be routed: the remembered
+                # relay crashed or sits across a partition.  Forget it and
+                # escalate to the discovery flood after a token wait
+                # instead of sitting out the full poll window.
+                self._known_relay.pop(state.item_id, None)
+                self.agent.context.metrics.bump("rpcc_relay_failover_fast")
+                timeout = min(0.5, timeout)
         elif stage == "flood":
             stage_ttl = self.config.poll_ttl or 1
             self.agent.flood(poll, stage_ttl)

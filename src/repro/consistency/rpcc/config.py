@@ -77,6 +77,26 @@ class RPCCConfig:
         Paper-faithful default ``False`` (Fig 6(b) batches ``UPDATE`` at
         the TTN boundary).  When ``True`` the source pushes ``UPDATE`` to
         its relays the moment the master copy changes (ablation).
+    update_repush_attempts:
+        Robustness hardening (default 0 = paper-faithful off): when a
+        TTN-boundary ``UPDATE`` cannot be delivered to a registered
+        relay, retry it up to this many times, ``update_repush_interval``
+        seconds apart, unless a newer version supersedes it first.
+        Bounds the window in which a relay that merely lost its route
+        (partition, burst loss) keeps validating against an old version.
+    update_repush_interval:
+        Seconds between bounded ``UPDATE`` re-push attempts.
+    resync_on_reconnect:
+        Robustness hardening (default off): a relay that comes back
+        online stops trusting TTR windows that were open when it went
+        down — it missed any ``INVALIDATION`` flooded meanwhile — and
+        refreshes from the source before answering polls again.
+    fast_relay_failover:
+        Robustness hardening (default off): a cache peer whose unicast
+        poll to its remembered relay cannot even be *routed* (the relay
+        crashed or is partitioned away) forgets that relay and escalates
+        to the discovery flood after a token wait, instead of sitting
+        out the full poll window for an answer that cannot come.
     """
 
     ttl_invalidation: int = 3
@@ -94,6 +114,10 @@ class RPCCConfig:
     thresholds: SelectionThresholds = field(default_factory=SelectionThresholds)
     eager_relay_refresh: bool = False
     immediate_update_push: bool = False
+    update_repush_attempts: int = 0
+    update_repush_interval: float = 10.0
+    resync_on_reconnect: bool = False
+    fast_relay_failover: bool = False
 
     def __post_init__(self) -> None:
         if self.ttl_invalidation < 1:
@@ -118,6 +142,16 @@ class RPCCConfig:
         elif self.grace_timeout <= 0:
             raise ConfigurationError(
                 f"grace_timeout must be positive, got {self.grace_timeout!r}"
+            )
+        if self.update_repush_attempts < 0:
+            raise ConfigurationError(
+                "update_repush_attempts must be >= 0, "
+                f"got {self.update_repush_attempts!r}"
+            )
+        if self.update_repush_interval <= 0:
+            raise ConfigurationError(
+                "update_repush_interval must be positive, "
+                f"got {self.update_repush_interval!r}"
             )
         if self.poll_ttl is None:
             self.poll_ttl = self.ttl_invalidation

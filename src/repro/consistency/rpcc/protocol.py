@@ -246,6 +246,11 @@ class RPCCAgent(BaseAgent):
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
+    def on_reconnect(self) -> None:
+        """Robustness hardening: distrust TTR windows that span an outage."""
+        if self.config.resync_on_reconnect:
+            self.relay.resync_after_outage()
+
     def on_local_update(self, master: MasterCopy) -> None:
         super().on_local_update(master)
         self.source.on_local_update(master)

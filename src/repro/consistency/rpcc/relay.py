@@ -68,6 +68,26 @@ class RelaySide:
         self._queued_polls.pop(item_id, None)
         self._awaiting_get_new.discard(item_id)
 
+    def resync_after_outage(self) -> None:
+        """Reconnect hardening: stop trusting pre-outage TTR windows.
+
+        A relay that was offline (crash, churn) may have missed any
+        number of ``INVALIDATION`` floods; its TTR countdowns kept
+        running while it was away, so an open window proves nothing
+        about freshness any more.  Expire every window and ask the
+        source for current content — polls arriving meanwhile queue
+        under the normal expired-TTR rule and drain when the refresh
+        lands, so the relay never vouches for a copy it cannot trust.
+        Gated behind ``resync_on_reconnect`` by the caller.
+        """
+        for item_id, timer in list(self._ttr.items()):
+            if not self.agent.roles.is_relay(item_id):
+                continue
+            if timer.remaining > 0:
+                timer.expire_now()
+            self.agent.context.metrics.bump("rpcc_relay_resync")
+            self._send_get_new(item_id)
+
     # ------------------------------------------------------------------
     # Push-side message handling
     # ------------------------------------------------------------------

@@ -101,11 +101,60 @@ class SourceSide:
             version=master.version,
             content_size=master.content_size,
         )
+        unreachable = []
         for relay_id in sorted(self.relay_table):
             if not self.agent.send(relay_id, update):
                 # The relay will resynchronise via INVALIDATION + GET_NEW.
                 self.agent.context.metrics.bump("rpcc_update_undeliverable")
+                unreachable.append(relay_id)
         self._last_pushed_version = master.version
+        if unreachable and self.config.update_repush_attempts > 0:
+            self._schedule_repush(master.version, unreachable, attempt=1)
+
+    # ------------------------------------------------------------------
+    # Bounded UPDATE re-push (robustness hardening, off by default)
+    # ------------------------------------------------------------------
+    def _schedule_repush(self, version: int, relays: list, attempt: int) -> None:
+        self.agent.context.sim.schedule(
+            self.config.update_repush_interval,
+            self._repush,
+            version,
+            relays,
+            attempt,
+        )
+
+    def _repush(self, version: int, relays: list, attempt: int) -> None:
+        """Retry an undeliverable ``UPDATE`` to the relays that missed it.
+
+        Gives up silently when the pushed version has been superseded
+        (the next TTN boundary carries the newer one anyway) or when the
+        source itself is down; relays that resigned in the meantime are
+        skipped.  At most ``update_repush_attempts`` rounds, so a relay
+        that stays unreachable costs a bounded number of extra sends.
+        """
+        master = self.agent.host.source_item
+        if (
+            master is None
+            or master.version != version
+            or not self.agent.host.online
+        ):
+            return
+        update = Update(
+            sender=self.agent.node_id,
+            item_id=master.item_id,
+            version=master.version,
+            content_size=master.content_size,
+        )
+        still_unreachable = []
+        for relay_id in relays:
+            if relay_id not in self.relay_table:
+                continue
+            if self.agent.send(relay_id, update):
+                self.agent.context.metrics.bump("rpcc_update_repushed")
+            else:
+                still_unreachable.append(relay_id)
+        if still_unreachable and attempt < self.config.update_repush_attempts:
+            self._schedule_repush(version, still_unreachable, attempt + 1)
 
     def on_local_update(self, master: MasterCopy) -> None:
         """Optionally push the update immediately (ablation flag)."""

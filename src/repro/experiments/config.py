@@ -9,9 +9,10 @@ size) are grouped separately and documented in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.peers.coefficients import SelectionThresholds
 
 __all__ = ["SimulationConfig", "TABLE1_ROWS"]
@@ -102,6 +103,18 @@ class SimulationConfig:
     # promotion round, so steady-state behaviour is what gets measured.
     warmup: float = 600.0
 
+    # --- Fault injection & retry hardening (docs/ROBUSTNESS.md) ---------
+    # Deterministic fault timeline; None (default) keeps the fault layer
+    # entirely out of the run — bit-identical with pre-fault builds.
+    faults: Optional[FaultPlan] = None
+    # Exponential backoff on remote-query retries.  None = auto: enabled
+    # exactly when a fault plan is active, so fault-free runs keep the
+    # historical fixed retry wait (and their golden digests).
+    retry_backoff: Optional[bool] = None
+    backoff_factor: float = 2.0
+    backoff_cap: float = 60.0
+    backoff_jitter: float = 0.1
+
     def __post_init__(self) -> None:
         positives: Tuple[Tuple[str, float], ...] = (
             ("n_peers", self.n_peers),
@@ -146,6 +159,22 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"need 0 < speed_min <= speed_max, got "
                 f"[{self.speed_min!r}, {self.speed_max!r}]"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if self.backoff_cap <= 0:
+            raise ConfigurationError(
+                f"backoff_cap must be positive, got {self.backoff_cap!r}"
+            )
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ConfigurationError(
+                f"backoff_jitter must be in [0, 1), got {self.backoff_jitter!r}"
             )
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":

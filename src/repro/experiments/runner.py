@@ -22,14 +22,20 @@ from repro.cache.catalog import Catalog
 from repro.cache.directory import CacheDirectory
 from repro.cache.discovery import Discovery
 from repro.cache.placement import random_placement, single_item_placement
-from repro.consistency.base import ConsistencyStrategy, StrategyContext
+from repro.consistency.base import (
+    ConsistencyStrategy,
+    RetryBackoff,
+    StrategyContext,
+)
 from repro.consistency.pull import PullStrategy
 from repro.consistency.push import PushStrategy
 from repro.consistency.rpcc import RPCCConfig, RPCCStrategy
 from repro.energy.battery import Battery
 from repro.errors import ConfigurationError
 from repro.experiments.config import SimulationConfig
+from repro.faults import FaultInjector
 from repro.metrics.collector import MetricsCollector, MetricsSummary
+from repro.metrics.degradation import DegradationMeter
 from repro.metrics.timeseries import TimeSeries
 from repro.mobility.stationary import Stationary
 from repro.mobility.subnets import SubnetGrid, SubnetTracker
@@ -94,6 +100,9 @@ class SimulationResult:
     #: TopologyService counters (snapshots built/reused, incremental
     #: updates, retained BFS trees, invalidations) at end of run.
     topology_stats: Dict[str, int] = field(default_factory=dict)
+    #: Degradation metrics (availability, stale-serve rate in partition,
+    #: time-to-reconverge); empty for fault-free runs without a meter.
+    fault_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def transmissions_per_minute(self) -> float:
@@ -173,11 +182,12 @@ class Simulation:
         fraction = sum(
             host.battery.fraction for host in self.hosts.values()
         ) / len(self.hosts)
+        summary = self.metrics.summary()
         return SimulationResult(
             spec=self.spec,
             scenario=self.scenario,
             config=self.config,
-            summary=self.metrics.summary(),
+            summary=summary,
             total_queries=self.query_workload.total_queries,
             total_updates=self.update_workload.total_updates,
             relay_samples=list(self._relay_samples),
@@ -187,6 +197,7 @@ class Simulation:
             wall_clock_seconds=elapsed,
             events_processed=self.sim.events_processed,
             topology_stats=self.network.topology.stats(),
+            fault_stats=dict(summary.fault_stats),
         )
 
     def _sample_traffic(self) -> None:
@@ -235,9 +246,18 @@ def build_simulation(
     if scenario not in ("standard", "single_source"):
         raise ConfigurationError(f"unknown scenario {scenario!r}")
     strategy_name, mix = _parse_spec(spec)
+    # An empty plan is the same as no plan: no fault RNG streams, no
+    # scheduled fault events, no degradation meter — bit-identical runs.
+    plan = (
+        config.faults
+        if config.faults is not None and not config.faults.is_empty
+        else None
+    )
     sim = Simulator()
     streams = RandomStreams(config.seed)
     metrics = MetricsCollector(delta=config.ttp)
+    if plan is not None:
+        metrics.degradation = DegradationMeter(lambda: sim.now)
     if trace is not None:
         sim.attach_trace(trace)
         metrics.attach_trace(trace, lambda: sim.now)
@@ -311,6 +331,21 @@ def build_simulation(
         hosts[host_id] = host
 
     discovery = Discovery(catalog, directory)
+    backoff_on = (
+        config.retry_backoff
+        if config.retry_backoff is not None
+        else plan is not None
+    )
+    backoff = (
+        RetryBackoff(
+            factor=config.backoff_factor,
+            cap=config.backoff_cap,
+            jitter=config.backoff_jitter,
+            seed=config.seed,
+        )
+        if backoff_on
+        else None
+    )
     context = StrategyContext(
         network,
         catalog,
@@ -319,6 +354,7 @@ def build_simulation(
         delta=config.ttp,
         fetch_timeout=config.fetch_timeout,
         cache_on_read=config.cache_on_read,
+        backoff=backoff,
     )
     strategy = _make_strategy(strategy_name, context, config)
     for host in hosts.values():
@@ -362,6 +398,21 @@ def build_simulation(
         mean_interval=config.query_interval,
         restrict_to_items=restrict,
     )
+    if plan is not None:
+        injector = FaultInjector(
+            plan,
+            sim=sim,
+            network=network,
+            hosts=hosts,
+            metrics=metrics,
+            strategy=strategy,
+            seed=config.seed,
+            terrain_width=config.terrain_width,
+            terrain_height=config.terrain_height,
+            degradation=metrics.degradation,
+        )
+        network.faults = injector
+        injector.start()
     return Simulation(
         spec=spec,
         scenario=scenario,
@@ -388,6 +439,9 @@ def _make_strategy(
             context, ttl=config.ttl_broadcast, poll_timeout=config.poll_timeout
         )
     if name == "rpcc":
+        # Protocol hardening rides along with fault injection: fault-free
+        # runs keep the paper-faithful defaults (and their golden digests).
+        hardened = config.faults is not None and not config.faults.is_empty
         rpcc_config = RPCCConfig(
             ttl_invalidation=config.ttl_rpcc,
             ttn=config.ttn,
@@ -396,6 +450,9 @@ def _make_strategy(
             poll_timeout=config.poll_timeout,
             broadcast_ttl=config.ttl_broadcast,
             thresholds=config.thresholds,
+            update_repush_attempts=2 if hardened else 0,
+            resync_on_reconnect=hardened,
+            fast_relay_failover=hardened,
         )
         return RPCCStrategy(context, rpcc_config)
     raise ConfigurationError(f"unknown strategy name {name!r}")

@@ -1,0 +1,27 @@
+"""Deterministic fault injection: serializable plans + a replay engine.
+
+See docs/ROBUSTNESS.md for the fault model, the JSON plan schema and the
+degradation metrics fault-injected runs report.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BurstyLoss,
+    Crash,
+    DelayJitter,
+    FaultPlan,
+    FaultSpec,
+    Partition,
+    RelayKill,
+)
+
+__all__ = [
+    "BurstyLoss",
+    "Crash",
+    "DelayJitter",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "Partition",
+    "RelayKill",
+]

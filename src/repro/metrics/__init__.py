@@ -2,12 +2,14 @@
 
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.metrics.counters import MessageCounters, TypeCount
+from repro.metrics.degradation import DegradationMeter
 from repro.metrics.latency import LatencyRecorder, QueryRecord
 from repro.metrics.report import format_summary, format_table
 from repro.metrics.staleness import ReadAudit, StalenessTracker
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = [
+    "DegradationMeter",
     "MetricsCollector",
     "MetricsSummary",
     "MessageCounters",

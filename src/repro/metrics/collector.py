@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.metrics.counters import MessageCounters
@@ -33,6 +33,9 @@ class MetricsSummary:
     mean_staleness_age: float
     transmissions_by_type: Dict[str, int]
     counters: Dict[str, int]
+    # Degradation numbers of fault-injected runs (availability, stale
+    # serves during partition, time-to-reconverge); empty without faults.
+    fault_stats: Dict[str, float] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -49,6 +52,9 @@ class MetricsCollector:
         self._counters: Dict[str, int] = {}
         self._trace = None
         self._clock: Optional[Callable[[], float]] = None
+        # Attached by the runner only for fault-injected runs; None keeps
+        # the read path free of degradation accounting.
+        self.degradation = None
 
     # TrafficObserver protocol -----------------------------------------
     def record_transmissions(self, message: Message, transmissions: int) -> None:
@@ -75,6 +81,8 @@ class MetricsCollector:
         self.latency = LatencyRecorder()
         self.staleness._audits.clear()
         self._counters = {}
+        if self.degradation is not None:
+            self.degradation.reset()
         if self._trace is not None and self._trace.enabled and self._clock is not None:
             self._trace.emit(MetricsReset(time=self._clock()))
 
@@ -95,6 +103,13 @@ class MetricsCollector:
     # Snapshot -----------------------------------------------------------
     def summary(self) -> MetricsSummary:
         """Freeze the current state into a :class:`MetricsSummary`."""
+        fault_stats: Dict[str, float] = {}
+        if self.degradation is not None:
+            fault_stats = self.degradation.snapshot()
+            issued = self.latency.issued
+            fault_stats["availability"] = (
+                self.latency.answered / issued if issued else 1.0
+            )
         return MetricsSummary(
             transmissions=self.traffic.transmissions(),
             messages=self.traffic.messages(),
@@ -114,4 +129,5 @@ class MetricsCollector:
                 for name, count in self.traffic.by_type().items()
             },
             counters=dict(self._counters),
+            fault_stats=fault_stats,
         )

@@ -1,0 +1,128 @@
+"""Degradation metrics for fault-injected runs.
+
+Quantifies how gracefully a strategy degrades while the fault plan is
+active and how fast it recovers afterwards:
+
+* **partition exposure** — total seconds during which at least one
+  fault-plan partition was in force (nested/overlapping partitions count
+  once: the meter tracks a refcount, not a sum of windows);
+* **stale-serve rate during partition** — of the reads answered while
+  partitioned, the fraction served stale (``staleness_age > 0`` on the
+  read audit), the paper's availability-vs-consistency trade-off made
+  measurable;
+* **time-to-reconverge** — after a partition heals, how long stale
+  answers keep appearing: the timestamp of the *last* stale read after
+  the heal, minus the heal time (0 when the first post-heal read is
+  already fresh).
+
+Availability itself (answered / issued queries) comes from the latency
+aggregator and is merged into the same ``fault_stats`` mapping by
+:meth:`repro.metrics.collector.MetricsCollector.summary`.
+
+The meter is only attached when a fault plan is active; fault-free runs
+carry a ``None`` and skip every call site, preserving bit-identical
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["DegradationMeter"]
+
+
+class DegradationMeter:
+    """Accumulates partition-exposure and reconvergence observations.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulation time
+        (used by :meth:`reset` and :meth:`snapshot`; the event-driven
+        feeds all pass their own timestamps).
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._active = 0  # refcount of partitions currently in force
+        self._since: float = 0.0  # when _active last became nonzero
+        self._partition_seconds = 0.0
+        self._reads_in_partition = 0
+        self._stale_in_partition = 0
+        # Reconvergence tracking: while _heal_at is set we are watching
+        # for stale stragglers after the most recent full heal.
+        self._heal_at: float = -1.0
+        self._last_stale_after_heal: float = 0.0
+        self._reconverge: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Feeds (injector + read path)
+    # ------------------------------------------------------------------
+    def on_partition_start(self, now: float) -> None:
+        """A fault-plan partition came into force at ``now``."""
+        self._settle_heal()
+        if self._active == 0:
+            self._since = now
+        self._active += 1
+
+    def on_partition_end(self, now: float) -> None:
+        """One partition healed; exposure closes when the last one does."""
+        if self._active == 0:
+            return
+        self._active -= 1
+        if self._active == 0:
+            self._partition_seconds += now - self._since
+            self._heal_at = now
+            self._last_stale_after_heal = now
+
+    def on_read(self, now: float, stale: bool) -> None:
+        """Audit one answered read (``stale`` per the staleness tracker)."""
+        if self._active > 0:
+            self._reads_in_partition += 1
+            if stale:
+                self._stale_in_partition += 1
+        elif stale and self._heal_at >= 0:
+            self._last_stale_after_heal = now
+
+    def _settle_heal(self) -> None:
+        """Close out a pending reconvergence observation."""
+        if self._heal_at >= 0:
+            self._reconverge.append(self._last_stale_after_heal - self._heal_at)
+            self._heal_at = -1.0
+
+    # ------------------------------------------------------------------
+    # Collector integration
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Warm-up reset: drop accumulated numbers, keep live fault state."""
+        now = self._clock()
+        if self._active > 0:
+            self._since = now
+        self._partition_seconds = 0.0
+        self._reads_in_partition = 0
+        self._stale_in_partition = 0
+        self._heal_at = -1.0
+        self._last_stale_after_heal = 0.0
+        self._reconverge = []
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current degradation numbers; never mutates the meter."""
+        now = self._clock()
+        partition_seconds = self._partition_seconds
+        if self._active > 0:
+            partition_seconds += now - self._since
+        reconverge = list(self._reconverge)
+        if self._heal_at >= 0:
+            reconverge.append(self._last_stale_after_heal - self._heal_at)
+        reads = self._reads_in_partition
+        stale = self._stale_in_partition
+        return {
+            "partition_seconds": partition_seconds,
+            "reads_in_partition": float(reads),
+            "stale_reads_in_partition": float(stale),
+            "stale_serve_rate_in_partition": (stale / reads) if reads else 0.0,
+            "heals_observed": float(len(reconverge)),
+            "mean_time_to_reconverge": (
+                sum(reconverge) / len(reconverge) if reconverge else 0.0
+            ),
+        }

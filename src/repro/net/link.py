@@ -13,7 +13,59 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 
-__all__ = ["LinkModel"]
+__all__ = ["GilbertElliott", "LinkModel"]
+
+
+class GilbertElliott:
+    """Two-state Markov (Gilbert–Elliott) burst-loss chain for one link.
+
+    The chain is in a ``good`` or ``bad`` state; each transmission is
+    dropped with that state's loss probability, then the state advances
+    (good->bad with ``p_good_bad``, bad->good with ``p_bad_good``).
+    Runs of the bad state produce the loss *bursts* that distinguish
+    fading radio channels from a uniform per-packet coin flip.
+
+    Chains start in the good state and share the caller-provided ``rng``
+    (one named stream per run), so the sequence of draws — and therefore
+    the whole fault schedule — is a pure function of the run seed and
+    the deterministic event order.
+    """
+
+    __slots__ = ("p_good_bad", "p_bad_good", "loss_good", "loss_bad", "bad", "_rng")
+
+    def __init__(
+        self,
+        p_good_bad: float,
+        p_bad_good: float,
+        loss_good: float,
+        loss_bad: float,
+        rng: random.Random,
+    ) -> None:
+        for name, value in (
+            ("p_good_bad", p_good_bad),
+            ("p_bad_good", p_bad_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+        self.p_good_bad = float(p_good_bad)
+        self.p_bad_good = float(p_bad_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self.bad = False
+        self._rng = rng
+
+    def sample_loss(self) -> bool:
+        """Drop decision for one transmission; advances the chain state."""
+        rng = self._rng
+        lost = rng.random() < (self.loss_bad if self.bad else self.loss_good)
+        if self.bad:
+            if rng.random() < self.p_bad_good:
+                self.bad = False
+        elif rng.random() < self.p_good_bad:
+            self.bad = True
+        return lost
 
 
 class LinkModel:

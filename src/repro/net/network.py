@@ -89,6 +89,10 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_undeliverable = 0
+        # Optional fault-injection hooks (repro.faults.FaultInjector).
+        # None — the default — keeps every code path byte-identical to a
+        # fault-free build: no extra draws, no extra scheduled events.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Node registry
@@ -183,17 +187,32 @@ class Network:
             # Local delivery: no radio transmission involved.
             self.sim.schedule(0.0, self._deliver, target, message)
             return True
+        faults = self.faults
         transmissions = 0
         for hop_index in range(hops):
             transmissions += 1
             self.node(path[hop_index]).on_transmit(message)
             self.node(path[hop_index + 1]).on_receive(message)
-            if self.link.hop_is_lost():
+            if self.link.hop_is_lost() or (
+                faults is not None
+                and faults.unicast_hop_lost(path[hop_index], path[hop_index + 1])
+            ):
                 self.traffic.record_transmissions(message, transmissions)
                 self.messages_undeliverable += 1
                 return False
         self.traffic.record_transmissions(message, transmissions)
         delay = self.link.path_delay(message.size_bytes, hops)
+        if faults is not None:
+            delay += faults.extra_delay()
+            if faults.duplicate():
+                # Deliver a second copy one hop-delay behind the first:
+                # protocols must treat repeated messages as idempotent.
+                self.sim.schedule(
+                    delay + self.link.hop_delay(message.size_bytes),
+                    self._deliver,
+                    target,
+                    message,
+                )
         self.sim.schedule(delay, self._deliver, target, message)
         return True
 

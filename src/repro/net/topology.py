@@ -61,11 +61,24 @@ class TopologySnapshot:
         not appear: they can neither send, receive, nor forward.
     radio_range:
         Disc-model communication range in metres.
+    edge_filter:
+        Optional symmetric predicate ``(node_a, node_b, pos_a, pos_b) ->
+        bool``; edges it rejects are removed *after* the normal build
+        (fault-injected partitions).  ``None`` — the default — leaves the
+        hot build path untouched.
     """
 
-    def __init__(self, positions: Dict[int, Point], radio_range: float) -> None:
+    def __init__(
+        self,
+        positions: Dict[int, Point],
+        radio_range: float,
+        edge_filter: Optional[
+            Callable[[int, int, Point, Point], bool]
+        ] = None,
+    ) -> None:
         self.positions = dict(positions)
         self.radio_range = float(radio_range)
+        self._edge_filter = edge_filter
         self._cell = self.radio_range if self.radio_range > 0 else 1.0
         self._adjacency: Dict[int, List[int]] = {node: [] for node in self.positions}
         self._neighbor_sets: Dict[int, frozenset] = {}
@@ -84,6 +97,33 @@ class TopologySnapshot:
             Tuple[Dict[int, int], Dict[int, int], List[Tuple[int, int]], List[int]],
         ] = {}
         self._build_adjacency()
+        if edge_filter is not None:
+            self._apply_edge_filter()
+
+    def _apply_edge_filter(self) -> None:
+        """Drop edges the filter rejects (fault-injected partitions).
+
+        Runs as a separate post-pass so the unfiltered build — the hot
+        path every normal refresh takes — pays nothing.  In-place
+        filtering preserves the registration-rank neighbour order, so
+        BFS traversal on the surviving graph matches what a from-scratch
+        build of the cut topology would produce.  The filter must be
+        symmetric in its endpoints or the adjacency becomes directed.
+        """
+        allowed = self._edge_filter
+        positions = self.positions
+        adjacency = self._adjacency
+        neighbor_sets = self._neighbor_sets
+        for node, neighbors in adjacency.items():
+            pos = positions[node]
+            kept = [
+                other
+                for other in neighbors
+                if allowed(node, other, pos, positions[other])
+            ]
+            if len(kept) != len(neighbors):
+                adjacency[node] = kept
+                neighbor_sets[node] = frozenset(kept)
 
     def _build_adjacency(self) -> None:
         # Uniform spatial hash: with cell size == radio range, any node
@@ -164,6 +204,7 @@ class TopologySnapshot:
         snap.positions = positions
         snap.radio_range = prev.radio_range
         cell = snap._cell = prev._cell
+        snap._edge_filter = None  # delta path is only taken unfiltered
         snap._edge_fp = {}
         snap._bfs_cache = {}
 
@@ -538,6 +579,13 @@ class TopologyService:
         self._order: Optional[Dict[int, int]] = None
         self.incremental = True
         self.verify_retention = False
+        # Fault-injected edge suppression (network partitions).  Callers
+        # that change this must call invalidate() in the same instant —
+        # the fast reuse path only checks filter *identity*, so assign a
+        # stable callable (the injector keeps one bound method around).
+        self.edge_filter: Optional[
+            Callable[[int, int, Point, Point], bool]
+        ] = None
         self.snapshots_built = 0
         self.invalidations = 0
         self.snapshots_reused = 0
@@ -557,7 +605,11 @@ class TopologyService:
         }
         self._cached_bucket = bucket
         self._dirty = False
-        if cached is not None and self.incremental:
+        if (
+            cached is not None
+            and self.incremental
+            and cached._edge_filter is self.edge_filter
+        ):
             old = cached.positions
             # The network's position ledger hands back the same Point
             # object while a node's validity window covers the refresh, so
@@ -574,7 +626,9 @@ class TopologyService:
                 self.snapshots_reused += 1
                 return cached
             limit = max(self.delta_floor, int(len(positions) * self.delta_fraction))
-            if len(changed) <= limit:
+            # Delta patching is unfiltered-only: a filtered base snapshot
+            # has edges physically missing that the patch math would need.
+            if len(changed) <= limit and self.edge_filter is None:
                 order = self._order
                 if order is None or old.keys() != positions.keys():
                     order = self._order = {
@@ -587,7 +641,9 @@ class TopologyService:
                 self.bfs_trees_retained += len(snap._bfs_cache)
                 self._cached = snap
                 return snap
-        self._cached = TopologySnapshot(positions, self.radio_range)
+        self._cached = TopologySnapshot(
+            positions, self.radio_range, edge_filter=self.edge_filter
+        )
         self.snapshots_built += 1
         self._order = None
         return self._cached

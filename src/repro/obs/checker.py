@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.obs.events import (
+    FaultNodeCrashed,
     InvalidationReceived,
     ReadServed,
     SourceUpdate,
@@ -165,6 +166,8 @@ class InvariantChecker:
                 self._current[event.item] = event.version
             # The source's own knowledge is trivially complete.
             self._learn(event.node, event.item, event.version, event.time)
+        elif isinstance(event, FaultNodeCrashed):
+            self._on_crash(event)
 
     def feed_all(self, events: Iterable[Union[TraceEvent, Dict]]) -> "InvariantChecker":
         """Feed a whole trace; returns ``self`` for chaining."""
@@ -194,6 +197,24 @@ class InvariantChecker:
 
     def _on_invalidation(self, event: InvalidationReceived) -> None:
         self._learn(event.node, event.item, event.version, event.time)
+
+    def _on_crash(self, event: FaultNodeCrashed) -> None:
+        """A cache-wiped crash erases what the node can be held to.
+
+        The copies are gone and so is whatever invalidation state was
+        stored with them: the node after reboot is a blank cache peer,
+        and any copy it later serves was re-fetched through the normal
+        machinery, which the remaining contracts cover.  A retained
+        crash keeps both the copies and the obligations — the node must
+        still honour everything delivered to it before it went down.
+        """
+        if not event.wiped:
+            return
+        node = event.node
+        for key in [k for k in self._known if k[0] == node]:
+            del self._known[key]
+        for key in [k for k in self._last_local if k[0] == node]:
+            del self._last_local[key]
 
     def _learn(self, node: int, item: int, version: int, time: float) -> None:
         versions, times = self._known.setdefault((node, item), ([], []))

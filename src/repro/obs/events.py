@@ -20,6 +20,11 @@ validation traffic     :class:`PollSent`, :class:`PollAnswered`,
                        :class:`FetchStarted`, :class:`FetchCompleted`
 relay overlay          :class:`RelayPromoted`, :class:`RelayDemoted`
 node churn             :class:`NodeOnline`, :class:`NodeOffline`
+fault injection        :class:`FaultPartitionStarted`,
+                       :class:`FaultPartitionEnded`,
+                       :class:`FaultNodeCrashed`,
+                       :class:`FaultNodeRebooted`,
+                       :class:`FaultRelayKilled`
 bookkeeping            :class:`MetricsReset`
 =====================  =============================================
 """
@@ -49,6 +54,11 @@ __all__ = [
     "RelayDemoted",
     "NodeOnline",
     "NodeOffline",
+    "FaultPartitionStarted",
+    "FaultPartitionEnded",
+    "FaultNodeCrashed",
+    "FaultNodeRebooted",
+    "FaultRelayKilled",
     "MetricsReset",
     "EVENT_TYPES",
     "event_from_dict",
@@ -252,6 +262,56 @@ class NodeOffline(TraceEvent):
 
 
 @dataclasses.dataclass
+class FaultPartitionStarted(TraceEvent):
+    """A fault-plan partition came into force (``fault.*`` family)."""
+
+    etype: ClassVar[str] = "fault_partition_start"
+    mode: str = "spatial"
+    name: str = ""
+
+
+@dataclasses.dataclass
+class FaultPartitionEnded(TraceEvent):
+    """A fault-plan partition healed; suppressed edges are restored."""
+
+    etype: ClassVar[str] = "fault_partition_end"
+    mode: str = "spatial"
+    name: str = ""
+
+
+@dataclasses.dataclass
+class FaultNodeCrashed(TraceEvent):
+    """``node`` was crashed by the fault plan.
+
+    ``wiped`` distinguishes a crash whose cache did not survive — the
+    invariant checker then forgets everything the node knew, since its
+    obligations died with its state — from a power-cycle that keeps the
+    (possibly stale) copies for the eventual reboot.
+    """
+
+    etype: ClassVar[str] = "fault_node_crash"
+    node: int = 0
+    wiped: bool = False
+
+
+@dataclasses.dataclass
+class FaultNodeRebooted(TraceEvent):
+    """``node`` came back after a fault-plan crash."""
+
+    etype: ClassVar[str] = "fault_node_reboot"
+    node: int = 0
+
+
+@dataclasses.dataclass
+class FaultRelayKilled(TraceEvent):
+    """A targeted relay kill took ``node`` down while relaying ``item``."""
+
+    etype: ClassVar[str] = "fault_relay_kill"
+    node: int = 0
+    item: int = 0
+
+
+@dataclasses.dataclass
 class MetricsReset(TraceEvent):
     """The warm-up window closed; metrics were reset."""
 
@@ -277,6 +337,11 @@ EVENT_TYPES: Dict[str, type] = {
         RelayDemoted,
         NodeOnline,
         NodeOffline,
+        FaultPartitionStarted,
+        FaultPartitionEnded,
+        FaultNodeCrashed,
+        FaultNodeRebooted,
+        FaultRelayKilled,
         MetricsReset,
     )
 }

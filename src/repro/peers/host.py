@@ -166,6 +166,35 @@ class MobileHost(NetworkNode):
                 self.agent.on_disconnect()
 
     # ------------------------------------------------------------------
+    # Fault-injection hooks
+    # ------------------------------------------------------------------
+    def crash(self, wipe_cache: bool = False) -> None:
+        """Drop offline abruptly (fault injection; no protocol goodbye).
+
+        ``wipe_cache`` models storage that did not survive the crash:
+        every cached copy is discarded through the store (keeping the
+        global directory consistent) *and* reported to the agent's
+        eviction hook, so relay roles and poll state are torn down the
+        same way a capacity eviction would.  The master copy always
+        survives — the source host *is* the ground truth.  Going offline
+        first means the teardown's protocol messages (relay
+        resignations, say) are counted as undeliverable rather than
+        magically escaping a dead radio.
+        """
+        self.set_online(False)
+        if wipe_cache:
+            # store.clear() only notifies the directory; the agent hook
+            # must be driven explicitly, exactly as the query path does.
+            for item_id in list(self.store.item_ids):
+                self.store.discard(item_id)
+                if self.agent is not None:
+                    self.agent.on_copy_evicted(item_id)
+
+    def reboot(self) -> None:
+        """Come back online after a :meth:`crash` (fault injection)."""
+        self.set_online(True)
+
+    # ------------------------------------------------------------------
     # Coefficient period upkeep
     # ------------------------------------------------------------------
     def start_period_timer(self) -> None:

@@ -110,3 +110,47 @@ class TestProtocolDoc:
             assert any(c.exists() for c in candidates), (
                 f"PROTOCOL.md references missing {path}"
             )
+
+
+class TestRobustnessDoc:
+    def test_exists_and_is_cross_linked(self):
+        text = read("docs/ROBUSTNESS.md")
+        assert "fault" in text.lower()
+        assert "ROBUSTNESS.md" in read("README.md")
+        assert "ROBUSTNESS.md" in read("DESIGN.md")
+        assert "ROBUSTNESS.md" in read("docs/OBSERVABILITY.md")
+
+    def test_example_plans_exist_and_load(self):
+        from repro.faults import FaultPlan
+
+        text = read("docs/ROBUSTNESS.md")
+        plans = set(re.findall(r"examples/faults/(\w+\.json)", text))
+        assert plans, "ROBUSTNESS.md references no example plans"
+        for name in plans:
+            FaultPlan.load(ROOT / "examples" / "faults" / name)
+
+    def test_cli_examples_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = read("docs/ROBUSTNESS.md")
+        lines = re.findall(r"python -m repro ([^\n]+?)(?:\s*\\\n\s*([^\n`]+))?$",
+                           text, re.MULTILINE)
+        assert lines
+        for first, continuation in lines:
+            argv = f"{first} {continuation}".split("#", 1)[0].split()
+            parser.parse_args(argv)
+
+    def test_documented_fault_kinds_match_code(self):
+        from repro.faults.plan import FAULT_KINDS
+
+        text = read("docs/ROBUSTNESS.md")
+        for kind in FAULT_KINDS:
+            assert f"`{kind}`" in text, f"ROBUSTNESS.md misses kind {kind}"
+
+    def test_documented_fault_stats_match_code(self):
+        text = read("docs/ROBUSTNESS.md")
+        for key in ("availability", "partition_seconds", "reads_in_partition",
+                    "stale_serve_rate_in_partition", "mean_time_to_reconverge",
+                    "heals_observed"):
+            assert f"`{key}`" in text, f"ROBUSTNESS.md misses stat {key}"

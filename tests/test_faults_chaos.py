@@ -1,0 +1,256 @@
+"""The checker-gated chaos suite plus targeted RPCC hardening tests.
+
+Every shipped example fault plan runs against every strategy spec and two
+seeds at golden scale; the invariant checker must hold on each trace.
+``switch_interval`` is shortened so relay promotion happens inside the
+window — otherwise relay kills would be vacuous no-ops.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.rpcc import RPCCConfig, RPCCStrategy
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import build_simulation
+from repro.faults import FaultPlan
+from repro.obs import InvariantChecker, ListSink, TraceBus
+
+from tests.conftest import line_positions, make_eligible, make_world
+
+EXAMPLES = Path(__file__).parent.parent / "examples" / "faults"
+PLANS = ("partition", "bursty_loss", "relay_kill", "crash_reboot")
+SPECS = ("push", "pull", "rpcc-sc", "rpcc-dc", "rpcc-wc")
+SEEDS = (7, 11)
+MATRIX = [
+    (plan, spec, seed) for plan in PLANS for spec in SPECS for seed in SEEDS
+]
+
+
+def _chaos_config(seed: int, plan: FaultPlan) -> SimulationConfig:
+    return SimulationConfig(
+        n_peers=20,
+        terrain_width=1000.0,
+        terrain_height=1000.0,
+        sim_time=180.0,
+        warmup=60.0,
+        seed=seed,
+        switch_interval=60.0,  # lets relays form inside the short window
+        faults=plan,
+    )
+
+
+def _run_traced(config: SimulationConfig, spec: str):
+    bus = TraceBus()
+    sink = bus.add_sink(ListSink())
+    result = build_simulation(config, spec, "standard", trace=bus).run()
+    bus.close()
+    return result, sink.events
+
+
+@pytest.mark.parametrize(
+    "plan_name,spec,seed", MATRIX,
+    ids=[f"{p}-{s}-s{d}" for p, s, d in MATRIX],
+)
+def test_chaos_suite_holds_the_invariants(plan_name, spec, seed):
+    plan = FaultPlan.load(EXAMPLES / f"{plan_name}.json")
+    config = _chaos_config(seed, plan)
+    result, events = _run_traced(config, spec)
+    report = InvariantChecker(delta=config.ttp).feed_all(events).finish()
+    assert report.ok, f"{plan_name}/{spec}/seed{seed}:\n{report.format()}"
+    assert report.reads_checked > 0
+    assert result.summary.queries_answered > 0  # degraded, not dead
+
+
+def test_relay_kill_plan_actually_kills_relays():
+    plan = FaultPlan.load(EXAMPLES / "relay_kill.json")
+    result, events = _run_traced(_chaos_config(7, plan), "rpcc-sc")
+    counters = result.summary.counters
+    assert counters.get("fault_relay_kills", 0) > 0
+    assert any(e.etype == "fault_relay_kill" for e in events)
+    # Reconnect hardening fired: rebooted relays refreshed before vouching.
+    assert counters.get("rpcc_relay_resync", 0) > 0
+
+
+def test_partition_plan_reports_degradation():
+    plan = FaultPlan.load(EXAMPLES / "partition.json")
+    result, _ = _run_traced(_chaos_config(7, plan), "rpcc-sc")
+    stats = result.fault_stats
+    assert stats["partition_seconds"] == pytest.approx(60.0)
+    assert 0.0 < stats["availability"] <= 1.0
+    assert stats["heals_observed"] == 1
+
+
+def test_disabled_faults_are_bit_identical():
+    """faults=None and an empty plan both keep the pre-fault event stream."""
+    def digest(config):
+        result, events = _run_traced(config, "rpcc-sc")
+        stripped = [
+            {k: v for k, v in e.to_dict().items() if not k.endswith("_id")}
+            for e in events
+        ]
+        return result.summary.transmissions, stripped
+
+    base = SimulationConfig(
+        n_peers=12, terrain_width=800.0, terrain_height=800.0,
+        sim_time=90.0, warmup=30.0, seed=5,
+    )
+    assert digest(base) == digest(base.with_overrides(faults=FaultPlan()))
+
+
+# ----------------------------------------------------------------------
+# Targeted RPCC hardening: relay crash mid-TTR (the satellite scenario)
+# ----------------------------------------------------------------------
+
+def _hardened_world(count=5):
+    config = RPCCConfig(
+        ttn=100.0, ttr=75.0, ttp=200.0, poll_timeout=2.0,
+        source_poll_timeout=2.0, grace_timeout=6.0,
+        resync_on_reconnect=True, fast_relay_failover=True,
+    )
+    return make_world(line_positions(count), lambda ctx: RPCCStrategy(ctx, config))
+
+
+def _promote(world, node_id, item_id):
+    world.give_copy(node_id, item_id)
+    make_eligible(world.host(node_id))
+
+
+class TestRelayCrashMidTTR:
+    def test_cache_peer_reregisters_with_a_surviving_relay(self):
+        world = _hardened_world()
+        _promote(world, 1, 0)
+        _promote(world, 2, 0)
+        world.give_copy(3, 0)
+        world.strategy.start()
+        world.update_item(0)
+        world.run(110.0)  # both candidates promoted via the TTN cycle
+        assert world.agent(1).roles.is_relay(0)
+        assert world.agent(2).roles.is_relay(0)
+        # A fresh relay opens its TTR window at the *next* INVALIDATION
+        # (promotion alone vouches for nothing): run one more TTN cycle.
+        world.run(100.0)
+
+        # First poll: node 3 remembers whichever relay answered.
+        record = world.agent(3).local_query(0, ConsistencyLevel.STRONG)
+        world.run(5.0)
+        assert record.answered
+        remembered = world.agent(3).cache_peer._known_relay[0]
+        assert remembered in (1, 2)
+        survivor = 2 if remembered == 1 else 1
+
+        # Crash the remembered relay mid-TTR (its window is still open).
+        assert world.agent(remembered).relay.ttr_remaining(0) > 0
+        world.host(remembered).crash()
+
+        record = world.agent(3).local_query(0, ConsistencyLevel.STRONG)
+        world.run(10.0)
+        assert record.answered
+        assert world.metrics.counter("rpcc_forced_stale") == 0  # validated
+        # The discovery flood found the survivor and re-registered it.
+        assert world.agent(3).cache_peer._known_relay[0] == survivor
+
+    def test_all_relays_dead_falls_back_to_source_poll(self):
+        # poll_ttl=1 keeps the discovery flood away from the source, so
+        # losing the only relay forces the wide-broadcast fallback stage.
+        # The relay sits at the far end of the line (node 3) so crashing
+        # it does not also sever the route back to the source (node 0).
+        config = RPCCConfig(
+            ttn=100.0, ttr=75.0, ttp=200.0, poll_timeout=2.0,
+            source_poll_timeout=2.0, grace_timeout=6.0, poll_ttl=1,
+            resync_on_reconnect=True, fast_relay_failover=True,
+        )
+        world = make_world(
+            line_positions(5), lambda ctx: RPCCStrategy(ctx, config)
+        )
+        _promote(world, 3, 0)
+        world.give_copy(2, 0)
+        world.strategy.start()
+        world.update_item(0)
+        world.run(110.0)
+        assert world.agent(3).roles.is_relay(0)
+        world.run(100.0)  # open the relay's TTR window
+
+        record = world.agent(2).local_query(0, ConsistencyLevel.STRONG)
+        world.run(5.0)
+        assert record.answered
+        assert world.agent(2).cache_peer._known_relay[0] == 3
+        world.host(3).crash()
+
+        # The only relay is dead: the broadcast stage reaches the source,
+        # which answers the poll directly — RPCC degenerates into pull.
+        record = world.agent(2).local_query(0, ConsistencyLevel.STRONG)
+        world.run(15.0)
+        assert record.answered
+        assert world.metrics.counter("rpcc_forced_stale") == 0  # validated
+        assert world.metrics.counter("rpcc_poll_fallback_source") > 0
+
+    def test_fast_failover_drops_an_unroutable_relay(self, monkeypatch):
+        world = _hardened_world()
+        _promote(world, 1, 0)
+        world.give_copy(3, 0)
+        world.strategy.start()
+        world.update_item(0)
+        world.run(110.0)
+
+        cache_peer = world.agent(3).cache_peer
+        cache_peer._known_relay[0] = 1
+        world.host(1).crash()
+        # Simulate the stale-snapshot race: the reachability pre-check
+        # still believes in the dead relay, so the unicast itself fails.
+        monkeypatch.setattr(
+            type(cache_peer), "_relay_in_reach", lambda self, relay_id: True
+        )
+        record = world.agent(3).local_query(0, ConsistencyLevel.STRONG)
+        world.run(1.0)  # far less than the 2 s poll_timeout
+        assert world.metrics.counter("rpcc_relay_failover_fast") == 1
+        assert 0 not in cache_peer._known_relay
+        world.run(15.0)
+        assert record.answered
+
+    def test_rebooted_relay_resyncs_instead_of_vouching_stale(self):
+        world = _hardened_world()
+        _promote(world, 1, 0)
+        world.give_copy(2, 0)
+        world.strategy.start()
+        world.update_item(0)
+        world.run(110.0)
+        assert world.agent(1).roles.is_relay(0)
+        world.run(95.0)  # let the next TTN renew the relay's TTR window
+
+        # Crash the relay with its TTR open; the source updates meanwhile,
+        # so the copy the relay holds is now stale.
+        assert world.agent(1).relay.ttr_remaining(0) > 0
+        world.host(1).crash()
+        world.update_item(0)
+        stale_version = world.host(1).store.peek(0).version
+        world.host(1).reboot()
+        world.run(1.0)
+        # Resync closed the pre-outage TTR window and refreshed.
+        assert world.metrics.counter("rpcc_relay_resync") == 1
+        world.run(5.0)
+        assert world.host(1).store.peek(0).version > stale_version
+
+    def test_resync_disabled_keeps_the_stale_window_open(self):
+        config = RPCCConfig(
+            ttn=100.0, ttr=75.0, ttp=200.0, resync_on_reconnect=False,
+        )
+        world = make_world(
+            line_positions(5), lambda ctx: RPCCStrategy(ctx, config)
+        )
+        _promote(world, 1, 0)
+        world.strategy.start()
+        world.update_item(0)
+        world.run(110.0)
+        world.run(95.0)
+        assert world.agent(1).relay.ttr_remaining(0) > 0
+        world.host(1).crash()
+        world.update_item(0)
+        world.host(1).reboot()
+        world.run(1.0)
+        # Paper-faithful behaviour: nothing expires until INVALIDATION.
+        assert world.metrics.counter("rpcc_relay_resync") == 0
+        assert world.agent(1).relay.ttr_remaining(0) > 0

@@ -12,6 +12,11 @@ from repro.obs import (
     EVENT_TYPES,
     CacheHit,
     CacheMiss,
+    FaultNodeCrashed,
+    FaultNodeRebooted,
+    FaultPartitionEnded,
+    FaultPartitionStarted,
+    FaultRelayKilled,
     FetchCompleted,
     FetchStarted,
     InvalidationReceived,
@@ -59,13 +64,18 @@ SAMPLE_EVENTS = [
     RelayDemoted(time=8.0, node=5, item=7, reason="ineligible"),
     NodeOnline(time=9.0, node=2),
     NodeOffline(time=9.5, node=2),
+    FaultPartitionStarted(time=9.6, mode="spatial", name="east-west"),
+    FaultPartitionEnded(time=9.7, mode="spatial", name="east-west"),
+    FaultNodeCrashed(time=9.8, node=4, wiped=True),
+    FaultNodeRebooted(time=9.85, node=4),
+    FaultRelayKilled(time=9.9, node=5, item=7),
     MetricsReset(time=10.0),
 ]
 
 
 class TestSerialisation:
     def test_every_event_type_is_registered(self):
-        assert len(EVENT_TYPES) == 16
+        assert len(EVENT_TYPES) == 21
         for event in SAMPLE_EVENTS:
             assert EVENT_TYPES[event.etype] is type(event)
 
@@ -75,6 +85,8 @@ class TestSerialisation:
             "source_update", "invalidation_sent", "invalidation_received",
             "poll_sent", "poll_answered", "fetch_started", "fetch_completed",
             "relay_promoted", "relay_demoted", "node_online", "node_offline",
+            "fault_partition_start", "fault_partition_end", "fault_node_crash",
+            "fault_node_reboot", "fault_relay_kill",
             "metrics_reset",
         }
 
