@@ -187,8 +187,10 @@ def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
     print(format_summary(result.summary, title=f"{args.spec} ({args.scenario})"))
     if result.relay_samples:
         print(f"\nmean relay population: {result.mean_relay_count:.1f}")
+    core = getattr(result, "core", "scalar")
     print(f"events processed: {result.events_processed:,} "
-          f"in {result.wall_clock_seconds:.1f}s wall clock")
+          f"in {result.wall_clock_seconds:.1f}s wall clock "
+          f"({core} core)")
     stats = getattr(result, "topology_stats", None)
     if stats:
         print("topology: "
@@ -220,9 +222,12 @@ def _run_profiled(config: SimulationConfig, spec: str, scenario: str, out_path: 
 
     Only the simulation loop is profiled (not argument parsing or module
     import), and the run always executes — serving a cached result would
-    profile nothing.
+    profile nothing.  The 15 largest cumulative-time functions go to
+    stderr so the hot spots are visible without opening the pstats file
+    (and without polluting the stdout summary).
     """
     import cProfile
+    import pstats
 
     from repro.experiments.runner import build_simulation
 
@@ -234,6 +239,8 @@ def _run_profiled(config: SimulationConfig, spec: str, scenario: str, out_path: 
     finally:
         profiler.disable()
     profiler.dump_stats(out_path)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(15)
     return result
 
 

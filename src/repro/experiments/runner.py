@@ -103,6 +103,10 @@ class SimulationResult:
     #: Degradation metrics (availability, stale-serve rate in partition,
     #: time-to-reconverge); empty for fault-free runs without a meter.
     fault_stats: Dict[str, float] = field(default_factory=dict)
+    #: Which per-quantum core executed this run: ``"vectorized"`` (numpy
+    #: struct-of-arrays fast path) or ``"scalar"``.  Both produce
+    #: bit-identical results; the field only records which one ran.
+    core: str = "scalar"
 
     @property
     def transmissions_per_minute(self) -> float:
@@ -198,6 +202,7 @@ class Simulation:
             events_processed=self.sim.events_processed,
             topology_stats=self.network.topology.stats(),
             fault_stats=dict(summary.fault_stats),
+            core=self.network.core,
         )
 
     def _sample_traffic(self) -> None:

@@ -23,6 +23,7 @@ from repro.net.link import LinkModel
 from repro.net.message import Message
 from repro.net.node import NetworkNode
 from repro.net.routing import Router, ShortestPathRouter
+from repro.net import soa
 from repro.net.topology import TopologyService, TopologySnapshot
 from repro.obs.events import InvalidationReceived, NodeOffline, NodeOnline
 from repro.sim.engine import Simulator
@@ -80,11 +81,19 @@ class Network:
         # the *same* Point object is served until then so the topology
         # service can detect unmoved nodes by identity.
         self._position_ledger: Dict[int, Tuple[Point, float]] = {}
+        # Struct-of-arrays core: with numpy installed (the ``perf`` extra)
+        # and REPRO_SOA != 0, positions/online flags/validity windows live
+        # in contiguous arrays and refreshes run vectorized.  Both cores
+        # produce bit-identical snapshots, routes and digests.
+        self._soa_ledger = soa.SoAPositionLedger() if soa.soa_enabled() else None
+        #: Which per-quantum core this network runs: "vectorized"/"scalar".
+        self.core = "vectorized" if self._soa_ledger is not None else "scalar"
         self.topology = TopologyService(
             clock=lambda: sim.now,
             node_states=self._node_states,
             radio_range=radio_range,
             quantum=topology_quantum,
+            delta_source=self._soa_ledger,
         )
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -110,9 +119,13 @@ class Network:
         if node.node_id in self._nodes:
             raise TopologyError(f"node id {node.node_id!r} already registered")
         self._nodes[node.node_id] = node
+        if self._soa_ledger is not None:
+            self._soa_ledger.add(node)
         node.bind_state_listener(self._on_node_state_change)
 
     def _on_node_state_change(self, node: NetworkNode) -> None:
+        if self._soa_ledger is not None:
+            self._soa_ledger.note_state(node)
         self.topology.note_churn(node.node_id)
         trace = self.sim.trace
         if trace.enabled:
@@ -254,8 +267,9 @@ class Network:
             return 0
         levels = snapshot.bfs_levels(source, max_depth=ttl)
         transmissions = 0
-        delivered = 0
         hop_delay = self.link.hop_delay(message.size_bytes)
+        deliver = self._deliver
+        deliveries = []
         for node_id, depth in levels.items():
             node = self.node(node_id)
             if depth == 0:
@@ -266,10 +280,13 @@ class Network:
             if depth < ttl:
                 transmissions += 1
                 node.on_transmit(message)
-            delivered += 1
-            self.sim.schedule(depth * hop_delay, self._deliver, node_id, message)
+            deliveries.append((depth * hop_delay, deliver, (node_id, message)))
+        # One batched heap insert for the whole flood.  Sequence numbers
+        # are assigned in the same iteration order the per-recipient
+        # schedule calls used, so the event stream is bit-identical.
+        self.sim.schedule_batch(deliveries)
         self.traffic.record_transmissions(message, transmissions)
-        return delivered
+        return len(deliveries)
 
     def flood_reach(self, source: int, ttl: int) -> List[int]:
         """Ids of nodes a flood from ``source`` with ``ttl`` would reach now."""

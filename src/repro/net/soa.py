@@ -1,0 +1,577 @@
+"""Struct-of-arrays fast path for the per-quantum hot loop.
+
+This module holds every numpy-accelerated kernel the network layer can
+substitute for its pure-Python inner loops:
+
+* :func:`build_adjacency` — the spatial-hash adjacency build of
+  :class:`~repro.net.topology.TopologySnapshot`, with cell keys computed by
+  integer floor-divide and candidate-pair distance checks as array ops.
+* :func:`bfs_from_csr` — the level-synchronous BFS over a compressed
+  sparse-row view of the snapshot, reproducing the scalar traversal's
+  discovery order (and therefore parents, items and depth prefix) exactly.
+* :class:`SoAPositionLedger` — node positions, online flags and
+  position-validity deadlines in contiguous arrays, with bulk mobility
+  kernels (:mod:`repro.mobility.bulk`) evaluating whole populations per
+  refresh and batched validity-window expiry waking only the nodes whose
+  windows actually lapsed.
+
+Everything here is *optional*: numpy ships as the ``perf`` extra.  With
+numpy absent — or ``REPRO_SOA=0`` in the environment — :func:`soa_enabled`
+is false and the existing scalar code paths run unchanged.  With the fast
+path active every observable result (neighbour lists, snapshots, golden
+e2e digests) is bit-identical to the scalar path: all float arithmetic is
+IEEE-754 double precision applied in the same operation order, and every
+ordering the scalar code derives from dict insertion is reproduced from
+the registration-rank arrays.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Mapping
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.mobility.terrain import Point
+
+__all__ = [
+    "HAVE_NUMPY",
+    "soa_enabled",
+    "ArrayPositions",
+    "CsrAdjacency",
+    "build_csr",
+    "adjacency_from_csr",
+    "bfs_from_csr",
+    "SoAPositionLedger",
+]
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on the install
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: Below this population the scalar build wins (numpy call overhead
+#: dominates); the property tests drop it to 0 to cover tiny graphs.
+BUILD_MIN_NODES = 64
+
+
+def soa_enabled() -> bool:
+    """Whether the vectorized core should run.
+
+    ``REPRO_SOA=0`` forces the scalar path even with numpy installed;
+    ``REPRO_SOA=1`` (or unset) selects the vectorized path whenever numpy
+    is importable.  Read dynamically so tests can flip the override.
+    """
+    if not HAVE_NUMPY:
+        return False
+    return os.environ.get("REPRO_SOA", "1") != "0"
+
+
+# ----------------------------------------------------------------------
+# Vectorized adjacency build
+# ----------------------------------------------------------------------
+def _ragged_take(starts: "np.ndarray", counts: "np.ndarray") -> "np.ndarray":
+    """Indices of the concatenation of ``arange(s, s+c)`` per (s, c) pair."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    return np.repeat(starts, counts) + within
+
+
+class CsrAdjacency:
+    """Compressed sparse-row adjacency over registration ranks.
+
+    ``neighbors[indptr[r]:indptr[r+1]]`` lists the neighbour *ranks* of
+    the node at rank ``r``, ascending; ``ids[r]`` maps rank back to node
+    id.  The id-to-rank table materialises lazily — BFS needs it for one
+    source lookup, and many snapshots are never traversed at all.
+    """
+
+    __slots__ = ("indptr", "neighbors", "ids", "_rank_table")
+
+    def __init__(self, indptr, neighbors, ids) -> None:
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.ids = ids
+        self._rank_table: Optional[Dict[int, int]] = None
+
+    def rank_of(self, node: int) -> int:
+        table = self._rank_table
+        if table is None:
+            table = self._rank_table = {
+                node_id: rank for rank, node_id in enumerate(self.ids.tolist())
+            }
+        return table[node]
+
+
+def build_csr(
+    positions: Dict[int, Point],
+    radio_range: float,
+    position_arrays: Optional[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]] = None,
+) -> Optional[CsrAdjacency]:
+    """Vectorized unit-disc adjacency over ``positions``.
+
+    Returns the :class:`CsrAdjacency` whose per-node neighbour segments
+    are element-for-element equal to the scalar spatial-hash build
+    (:func:`adjacency_from_csr` materialises the identical dict-of-lists
+    on demand).  Returns ``None`` when the input cannot be vectorized
+    (ids outside int64), letting the caller fall back to the scalar
+    build.
+
+    ``position_arrays`` may supply precomputed ``(ids, xs, ys)`` arrays
+    (the position ledger keeps them hot); they must match ``positions``
+    in order and value.
+    """
+    n = len(positions)
+    if position_arrays is None and isinstance(positions, ArrayPositions):
+        position_arrays = positions.arrays()
+    if position_arrays is not None:
+        ids, xs, ys = position_arrays
+    else:
+        try:
+            ids = np.fromiter(positions.keys(), dtype=np.int64, count=n)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        xs = np.fromiter((p.x for p in positions.values()), dtype=np.float64, count=n)
+        ys = np.fromiter((p.y for p in positions.values()), dtype=np.float64, count=n)
+
+    if n == 0:
+        return CsrAdjacency(
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    cell = radio_range if radio_range > 0 else 1.0
+    limit_sq = radio_range * radio_range
+    # Cell coordinates match the scalar math.floor(x / cell) exactly.
+    cx = np.floor(xs / cell).astype(np.int64)
+    cy = np.floor(ys / cell).astype(np.int64)
+    # Linearise with a +1 margin so the ±1 offsets below stay in range.
+    cx -= cx.min() - 1
+    cy -= cy.min() - 1
+    height = int(cy.max()) + 2
+    keys = cx * height + cy
+
+    order = np.argsort(keys, kind="stable")  # rank order within each cell
+    sorted_keys = keys[order]
+    # Group boundaries of the (already sorted) keys: np.unique would sort
+    # again, a flag-diff scan gets starts/counts in O(n).
+    flags = np.empty(n, dtype=bool)
+    flags[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=flags[1:])
+    starts = np.nonzero(flags)[0]
+    uniq = sorted_keys[starts]
+    counts = np.empty(starts.shape[0], dtype=np.int64)
+    counts[:-1] = starts[1:] - starts[:-1]
+    counts[-1] = n - starts[-1]
+
+    # Cell lookup: a dense key -> group table beats a log-n searchsorted
+    # join whenever the grid is compact (the usual terrain); degenerate
+    # sparse grids keep the searchsorted path.
+    table_size = int(cx.max() + 2) * height
+    group_of = None
+    if table_size <= 4 * n + 1024:
+        group_of = np.full(table_size, -1, dtype=np.int64)
+        group_of[uniq] = np.arange(uniq.shape[0], dtype=np.int64)
+
+    ranks = np.arange(n, dtype=np.int64)
+    a_parts: List["np.ndarray"] = []
+    b_parts: List["np.ndarray"] = []
+    # Offset (0, 0) yields every ordered same-cell pair (the a < b filter
+    # below keeps each unordered pair once); the four half-neighbourhood
+    # offsets each yield every cross-cell pair exactly once — the same
+    # coverage argument as the scalar build.
+    for ox, oy in ((0, 0), (1, 0), (0, 1), (1, 1), (-1, 1)):
+        target = keys + (ox * height + oy)
+        if group_of is not None:
+            slot = group_of[target]
+            valid = slot >= 0
+        else:
+            slot = np.searchsorted(uniq, target)
+            slot[slot >= len(uniq)] = 0
+            valid = uniq[slot] == target
+        if not valid.any():
+            continue
+        a_rank = ranks[valid]
+        g_start = starts[slot[valid]]
+        g_count = counts[slot[valid]]
+        take = _ragged_take(g_start, g_count)
+        b_rank = order[take]
+        a_rank = np.repeat(a_rank, g_count)
+        if ox == 0 and oy == 0:
+            keep = a_rank < b_rank
+            a_rank = a_rank[keep]
+            b_rank = b_rank[keep]
+        if a_rank.size:
+            a_parts.append(a_rank)
+            b_parts.append(b_rank)
+
+    if a_parts:
+        # One fused distance pass over every candidate pair.
+        cand_a = np.concatenate(a_parts)
+        cand_b = np.concatenate(b_parts)
+        dx = xs[cand_a] - xs[cand_b]
+        dy = ys[cand_a] - ys[cand_b]
+        near = dx * dx + dy * dy <= limit_sq
+        half_src = cand_a[near]
+        half_dst = cand_b[near]
+        src = np.concatenate((half_src, half_dst))
+        dst = np.concatenate((half_dst, half_src))
+        # Per-node lists ascending by rank == the scalar post-build sort.
+        edge_order = np.lexsort((dst, src))
+        dst = dst[edge_order]
+        src = src[edge_order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    else:
+        dst = np.empty(0, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+
+    return CsrAdjacency(indptr, dst, ids)
+
+
+def adjacency_from_csr(csr: CsrAdjacency) -> Dict[int, List[int]]:
+    """Materialise the scalar-identical dict-of-lists view of ``csr``.
+
+    Deferred out of :func:`build_csr` because the per-quantum hot path
+    (BFS, floods, membership tests) runs entirely on the arrays; only
+    direct neighbour-list consumers pay for the Python dict.
+    """
+    ids_list = csr.ids.tolist()
+    nbr_ids = csr.ids[csr.neighbors].tolist() if csr.neighbors.size else []
+    bounds = csr.indptr.tolist()
+    adjacency: Dict[int, List[int]] = {}
+    lo = 0
+    for index, node in enumerate(ids_list):
+        hi = bounds[index + 1]
+        adjacency[node] = nbr_ids[lo:hi]
+        lo = hi
+    return adjacency
+
+
+# ----------------------------------------------------------------------
+# Vectorized BFS
+# ----------------------------------------------------------------------
+def bfs_from_csr(
+    csr: CsrAdjacency, source: int, max_depth: Optional[int] = None
+) -> Tuple[Dict[int, int], Dict[int, int], List[Tuple[int, int]], List[int]]:
+    """BFS tree from ``source`` over a CSR adjacency.
+
+    Returns the same ``(levels, parents, items, prefix)`` quadruple as the
+    scalar ``TopologySnapshot._bfs_from`` — including discovery order and
+    parent choice: within each depth the scalar loop scans the frontier in
+    order and each frontier node's neighbours in rank order, keeping the
+    first discovery; taking the first occurrence over the concatenated
+    candidate stream reproduces that exactly.
+
+    ``max_depth`` stops the traversal once every node at that depth is
+    discovered — levels ``<= max_depth`` of a bounded run are identical to
+    the same levels of a full run, so TTL-limited floods can skip the far
+    side of a large graph entirely.
+    """
+    indptr, nbrs, ids = csr.indptr, csr.neighbors, csr.ids
+    src = csr.rank_of(source)
+    n = ids.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    seen[src] = True
+    frontier = np.array([src], dtype=np.int64)
+    rank_chunks = [frontier]
+    parent_chunks = [frontier]
+    prefix: List[int] = [1]
+    while True:
+        if max_depth is not None and len(prefix) - 1 >= max_depth:
+            break
+        counts = indptr[frontier + 1] - indptr[frontier]
+        take = _ragged_take(indptr[frontier], counts)
+        if take.size == 0:
+            break
+        candidates = nbrs[take]
+        parents_of = np.repeat(frontier, counts)
+        fresh = ~seen[candidates]
+        candidates = candidates[fresh]
+        if candidates.size == 0:
+            break
+        parents_of = parents_of[fresh]
+        uniq, first = np.unique(candidates, return_index=True)
+        discovery = np.argsort(first, kind="stable")
+        frontier = uniq[discovery]
+        seen[frontier] = True
+        rank_chunks.append(frontier)
+        parent_chunks.append(parents_of[first[discovery]])
+        prefix.append(prefix[-1] + int(frontier.shape[0]))
+
+    all_ranks = np.concatenate(rank_chunks)
+    node_ids = ids[all_ranks].tolist()
+    parent_ids = ids[np.concatenate(parent_chunks)].tolist()
+    sizes = [c.shape[0] for c in rank_chunks]
+    depths = np.repeat(np.arange(len(sizes)), sizes).tolist()
+    levels = dict(zip(node_ids, depths))
+    parents = dict(zip(node_ids, parent_ids))
+    items = list(zip(node_ids, depths))
+    return levels, parents, items, prefix
+
+
+# ----------------------------------------------------------------------
+# Array-backed positions mapping
+# ----------------------------------------------------------------------
+class ArrayPositions(Mapping):
+    """Immutable, registration-ordered node-to-position mapping over arrays.
+
+    The ledger hands one out whenever a refresh changes more nodes than
+    the incremental-patch threshold allows: the snapshot rebuild that
+    follows consumes the arrays directly, so the per-node ``Point`` dict
+    — the dominant cost of a refresh where everybody moves — only
+    materialises if something actually reads positions (tests, scalar
+    fallbacks, delta patches).  Iteration order is the slot (registration)
+    order of the backing arrays, matching the dict the scalar path builds;
+    values are Python floats, so a materialised entry is bit-identical to
+    its scalar counterpart.
+    """
+
+    __slots__ = ("ids", "xs", "ys", "_dict", "_key_set")
+
+    def __init__(self, ids: "np.ndarray", xs: "np.ndarray", ys: "np.ndarray") -> None:
+        self.ids = ids
+        self.xs = xs
+        self.ys = ys
+        self._dict: Optional[Dict[int, Point]] = None
+        self._key_set = None
+
+    def arrays(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """The backing ``(ids, xs, ys)`` arrays (never mutated)."""
+        return self.ids, self.xs, self.ys
+
+    def materialized(self) -> Dict[int, Point]:
+        """The equivalent plain dict, built once on first demand."""
+        mapping = self._dict
+        if mapping is None:
+            mapping = self._dict = {
+                node: Point(px, py)
+                for node, px, py in zip(
+                    self.ids.tolist(), self.xs.tolist(), self.ys.tolist()
+                )
+            }
+        return mapping
+
+    def __getitem__(self, node: int) -> Point:
+        return self.materialized()[node]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.ids.tolist())
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    def __contains__(self, node: object) -> bool:
+        keys = self._key_set
+        if keys is None:
+            keys = self._key_set = set(self.ids.tolist())
+        return node in keys
+
+
+# ----------------------------------------------------------------------
+# Position ledger
+# ----------------------------------------------------------------------
+class SoAPositionLedger:
+    """Positions, online flags and validity deadlines as contiguous arrays.
+
+    The array-backed replacement for the network's per-node position
+    ledger *and* the topology service's change diff.  Each
+    :meth:`refresh` performs the whole per-quantum position pass in a few
+    vector operations:
+
+    1. Batched validity expiry — ``online & (valid_until < now)`` wakes
+       only the nodes whose windows actually lapsed.
+    2. Bulk mobility — each :mod:`repro.mobility.bulk` kernel evaluates
+       its lapsed members in one shot (scalar fallback per node only for
+       unrecognised models).
+    3. Vectorized delta detection — moved/appeared/departed nodes fall
+       out of array comparisons against the last *reported* state, in the
+       same order the scalar diff produces (registration order for
+       moved/appeared, then departed).
+
+    The returned positions dict is never mutated after it is handed out:
+    refreshes that change anything build a fresh dict (copy-on-change),
+    so snapshots may keep references without aliasing hazards.
+
+    Online state is maintained from the network's churn notifications
+    (:meth:`note_state`) — the :class:`~repro.net.node.NetworkNode`
+    contract requires every flip to call ``notify_state_change``.
+    """
+
+    #: Mirror of ``TopologyService.delta_fraction`` / ``delta_floor``:
+    #: deltas past this threshold end in a from-scratch array build, so
+    #: the ledger skips Point-dict maintenance and returns
+    #: :class:`ArrayPositions` instead.  Correctness never depends on the
+    #: values matching the service's — only which fast path is taken.
+    PATCH_FRACTION = 0.25
+    PATCH_FLOOR = 4
+
+    def __init__(self) -> None:
+        self._nodes: List = []
+        self._slot_of: Dict[int, int] = {}
+        self._ids: List[int] = []
+        self._pending: List = []
+        self._kernels: Dict[type, object] = {}
+        self._x = np.empty(0, dtype=np.float64)
+        self._y = np.empty(0, dtype=np.float64)
+        self._valid_until = np.empty(0, dtype=np.float64)
+        self._online = np.empty(0, dtype=bool)
+        self._reported_online = np.empty(0, dtype=bool)
+        self._reported_x = np.empty(0, dtype=np.float64)
+        self._reported_y = np.empty(0, dtype=np.float64)
+        self._positions: Dict[int, Point] = {}
+        self._ids_arr = np.empty(0, dtype=np.int64)
+
+    def add(self, node) -> None:
+        """Track ``node`` (called at network registration)."""
+        slot = len(self._nodes) + len(self._pending)
+        self._slot_of[node.node_id] = slot
+        self._pending.append(node)
+
+    def note_state(self, node) -> None:
+        """Record an online/offline flip (network churn notification)."""
+        slot = self._slot_of[node.node_id]
+        if slot < self._online.shape[0]:
+            self._online[slot] = node.online
+        # Pending nodes are absorbed with their live online flag.
+
+    def _absorb_pending(self) -> None:
+        from repro.mobility import bulk
+
+        start = len(self._nodes)
+        fresh = self._pending
+        self._pending = []
+        touched = set()
+        for offset, node in enumerate(fresh):
+            slot = start + offset
+            self._nodes.append(node)
+            self._ids.append(node.node_id)
+            model = getattr(node, "mobility", None)
+            kernel_cls = bulk.kernel_class_for(model)
+            kernel = self._kernels.get(kernel_cls)
+            if kernel is None:
+                kernel = self._kernels[kernel_cls] = kernel_cls()
+            member = node if kernel_cls is bulk.FallbackKernel else model
+            kernel.add(slot, member)
+            touched.add(kernel)
+        for kernel in touched:
+            kernel.finalize()
+        total = len(self._nodes)
+
+        def grow(old, fill, dtype):
+            fresh_arr = np.full(total, fill, dtype=dtype)
+            fresh_arr[: old.shape[0]] = old
+            return fresh_arr
+
+        self._x = grow(self._x, math.nan, np.float64)
+        self._y = grow(self._y, math.nan, np.float64)
+        self._valid_until = grow(self._valid_until, -math.inf, np.float64)
+        self._online = grow(self._online, False, bool)
+        self._reported_online = grow(self._reported_online, False, bool)
+        self._reported_x = grow(self._reported_x, math.nan, np.float64)
+        self._reported_y = grow(self._reported_y, math.nan, np.float64)
+        for offset, node in enumerate(fresh):
+            self._online[start + offset] = node.online
+        self._ids_arr = np.asarray(self._ids, dtype=np.int64)
+
+    def online_arrays(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """``(ids, xs, ys)`` of the online nodes, in registration order.
+
+        Matches the dict the latest :meth:`refresh` returned, saving the
+        from-scratch snapshot build its per-position extraction pass.
+        """
+        slots = np.nonzero(self._online)[0]
+        return self._ids_arr[slots], self._x[slots], self._y[slots]
+
+    def refresh(self, now: float) -> Tuple[Dict[int, Point], Sequence[int]]:
+        """Sample lapsed windows and diff against the last reported state.
+
+        Returns ``(positions, changed)``: the registration-ordered mapping
+        of online node to position, and the node ids whose state differs
+        from the previous report (moved, appeared or departed) in the
+        order the scalar service diff would list them.
+        """
+        if self._pending:
+            self._absorb_pending()
+        online = self._online
+        valid_until = self._valid_until
+        lapsed = online & (valid_until < now)
+        if lapsed.any():
+            x, y = self._x, self._y
+            for kernel in self._kernels.values():
+                local = kernel.local_needs(lapsed)
+                if local.size:
+                    kernel.sample(now, local, x, y, valid_until)
+
+        reported_online = self._reported_online
+        appeared = online & ~reported_online
+        departed = reported_online & ~online
+        moved = lapsed & reported_online & (
+            (self._x != self._reported_x) | (self._y != self._reported_y)
+        )
+        churned = bool(appeared.any() or departed.any())
+        if not churned and not moved.any():
+            return self._positions, ()
+
+        first_arr = np.nonzero(moved | appeared)[0]
+        changed = self._ids_arr[first_arr].tolist()
+        dep_arr = np.nonzero(departed)[0]
+        if dep_arr.size:
+            changed.extend(self._ids_arr[dep_arr].tolist())
+
+        refreshed = np.nonzero(lapsed)[0]
+        self._reported_x[refreshed] = self._x[refreshed]
+        self._reported_y[refreshed] = self._y[refreshed]
+        self._reported_online = online.copy()
+
+        n_online = int(online.sum())
+        if len(changed) > max(
+            self.PATCH_FLOOR, int(n_online * self.PATCH_FRACTION)
+        ):
+            # The delta exceeds the topology service's incremental-patch
+            # threshold, so the refresh ends in a from-scratch array
+            # build: hand out the arrays and skip the Point dict — it
+            # materialises lazily if anything actually reads positions.
+            slots = np.nonzero(online)[0]
+            self._positions = ArrayPositions(
+                self._ids_arr[slots], self._x[slots], self._y[slots]
+            )
+            return self._positions, changed
+
+        base = self._positions
+        if isinstance(base, ArrayPositions):
+            base = base.materialized()
+        first = first_arr.tolist()
+        ids = self._ids
+        # tolist() hands back Python floats, so Points never leak numpy
+        # scalars into snapshot positions or anything derived from them.
+        # Every slot in ``first`` genuinely changed value (the moved mask
+        # compares against the last report), so each needs a fresh Point.
+        x_list = self._x[first_arr].tolist() if first else ()
+        y_list = self._y[first_arr].tolist() if first else ()
+        if churned:
+            # Membership changed: rebuild in registration (slot) order so
+            # appeared nodes land at their registry position, exactly as
+            # the scalar per-registry scan emits them.
+            fresh = {
+                slot: Point(x_list[index], y_list[index])
+                for index, slot in enumerate(first)
+            }
+            positions = {}
+            for slot in np.nonzero(online)[0].tolist():
+                node = ids[slot]
+                point = fresh.get(slot)
+                positions[node] = point if point is not None else base[node]
+            self._positions = positions
+        else:
+            positions = dict(base)
+            for index, slot in enumerate(first):
+                positions[ids[slot]] = Point(x_list[index], y_list[index])
+            self._positions = positions
+        return self._positions, changed

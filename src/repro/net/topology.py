@@ -47,8 +47,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 from repro.errors import TopologyError
 from repro.mobility.terrain import Point
+from repro.net import soa
 
 __all__ = ["TopologySnapshot", "TopologyService"]
+
+# Population below which a *full* (unbounded) BFS runs on the dict
+# adjacency even when a CSR view exists.  The dict traversal is faster
+# per source at any scale; the CSR traversal only pays off when it saves
+# materialising the adjacency from the CSR on a large snapshot that will
+# likely see a single routing query before the next rebuild.
+_FULL_BFS_CSR_MIN = 4096
 
 
 class TopologySnapshot:
@@ -75,16 +83,18 @@ class TopologySnapshot:
         edge_filter: Optional[
             Callable[[int, int, Point, Point], bool]
         ] = None,
+        position_arrays=None,
     ) -> None:
-        self.positions = dict(positions)
+        # ArrayPositions (the ledger's big-delta output) is already an
+        # immutable snapshot-safe mapping: copying it into a dict would
+        # materialise one Point per node, the very cost it exists to skip.
+        if isinstance(positions, soa.ArrayPositions):
+            self.positions = positions
+        else:
+            self.positions = dict(positions)
         self.radio_range = float(radio_range)
         self._edge_filter = edge_filter
         self._cell = self.radio_range if self.radio_range > 0 else 1.0
-        self._adjacency: Dict[int, List[int]] = {node: [] for node in self.positions}
-        self._neighbor_sets: Dict[int, frozenset] = {}
-        # The spatial-hash grid is kept after the build so from_delta can
-        # re-bucket moved nodes without rescanning the whole population.
-        self._grid: Dict[Tuple[int, int], List[Tuple[int, Point]]] = {}
         # node -> hash of its ordered neighbour list, filled lazily by
         # component_fingerprint / from_delta verification.  Never inherited
         # across snapshots: each snapshot fingerprints its own actual lists.
@@ -96,9 +106,83 @@ class TopologySnapshot:
             int,
             Tuple[Dict[int, int], Dict[int, int], List[Tuple[int, int]], List[int]],
         ] = {}
-        self._build_adjacency()
+        # source -> ((levels, parents, items, prefix), complete) of a
+        # depth-bounded vectorized BFS; levels <= the bound are identical
+        # to the full traversal's, so TTL floods reuse them without ever
+        # walking the whole graph.
+        self._bfs_partial: Dict[int, Tuple[tuple, bool]] = {}
+        # Compressed sparse-row view of the adjacency (vectorized builds
+        # only); BFS traverses it in array ops instead of the dict lists.
+        self._csr = None
+        if (
+            soa.HAVE_NUMPY
+            and len(self.positions) >= soa.BUILD_MIN_NODES
+            and soa.soa_enabled()
+        ):
+            self._csr = soa.build_csr(
+                self.positions, self.radio_range, position_arrays
+            )
+        if self._csr is not None:
+            # The dict-of-lists adjacency, the grid and the frozen
+            # neighbour sets all materialise lazily: a regime that
+            # rebuilds every quantum (everybody moving) never needs any
+            # of them, and from_delta/has_edge build them on first touch.
+            self._adjacency = None
+            self._grid = None
+            self._neighbor_sets = None
+        else:
+            self._adjacency = {node: [] for node in self.positions}
+            self._neighbor_sets = {}
+            # The spatial-hash grid is kept after the build so from_delta
+            # can re-bucket moved nodes without rescanning the population.
+            self._grid = {}
+            self._build_adjacency()
         if edge_filter is not None:
             self._apply_edge_filter()
+            self._csr = None  # filtered lists no longer match the CSR view
+
+    # ------------------------------------------------------------------
+    # Lazy companions of the adjacency (vectorized builds defer them)
+    # ------------------------------------------------------------------
+    @property
+    def _adjacency(self) -> Dict[int, List[int]]:
+        adjacency = self._adjacency_store
+        if adjacency is None:
+            adjacency = self._adjacency_store = soa.adjacency_from_csr(self._csr)
+        return adjacency
+
+    @_adjacency.setter
+    def _adjacency(self, value) -> None:
+        self._adjacency_store = value
+
+    @property
+    def _grid(self) -> Dict[Tuple[int, int], List[Tuple[int, Point]]]:
+        grid = self._grid_store
+        if grid is None:
+            cell = self._cell
+            grid = self._grid_store = {}
+            for node, pos in self.positions.items():
+                key = (math.floor(pos.x / cell), math.floor(pos.y / cell))
+                grid.setdefault(key, []).append((node, pos))
+        return grid
+
+    @_grid.setter
+    def _grid(self, value) -> None:
+        self._grid_store = value
+
+    @property
+    def _neighbor_sets(self) -> Dict[int, frozenset]:
+        sets = self._sets_store
+        if sets is None:
+            sets = self._sets_store = {
+                node: frozenset(neighbors)
+                for node, neighbors in self._adjacency.items()
+            }
+        return sets
+
+    @_neighbor_sets.setter
+    def _neighbor_sets(self, value) -> None:
+        self._sets_store = value
 
     def _apply_edge_filter(self) -> None:
         """Drop edges the filter rejects (fault-injected partitions).
@@ -207,6 +291,8 @@ class TopologySnapshot:
         snap._edge_filter = None  # delta path is only taken unfiltered
         snap._edge_fp = {}
         snap._bfs_cache = {}
+        snap._bfs_partial = {}
+        snap._csr = None  # patched lists live in the dicts, not the arrays
 
         grid = dict(prev._grid)
         adjacency = dict(prev._adjacency)
@@ -370,10 +456,22 @@ class TopologySnapshot:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _key_set(self) -> Set[int]:
+        # CPython presizes a set built from a dict differently from one
+        # built from a generic iterable, and the internal table layout
+        # leaks through iteration order once elements are discarded
+        # (connected_components' seed picking, for one).  Route every
+        # positions mapping through a dict so array-backed and plain-dict
+        # snapshots produce byte-identical set behaviour.
+        positions = self.positions
+        if type(positions) is not dict:
+            positions = dict.fromkeys(positions)
+        return set(positions)
+
     @property
     def nodes(self) -> Set[int]:
         """Identifiers of the online nodes in this snapshot."""
-        return set(self.positions)
+        return self._key_set()
 
     def __contains__(self, node: int) -> bool:
         return node in self.positions
@@ -392,7 +490,10 @@ class TopologySnapshot:
         not online in this snapshot, so route-liveness scans need no
         separate membership pass.
         """
-        members = self._neighbor_sets.get(node_a)
+        sets = self._sets_store
+        if sets is None:
+            sets = self._neighbor_sets  # materialise once, then hit the store
+        members = sets.get(node_a)
         return members is not None and node_b in members
 
     def degree(self, node: int) -> int:
@@ -405,6 +506,20 @@ class TopologySnapshot:
         """Full BFS tree from ``source``, computed once per snapshot."""
         cached = self._bfs_cache.get(source)
         if cached is not None:
+            return cached
+        # Both traversals produce the same quadruple bit-for-bit (the CSR
+        # preserves registration-rank neighbour order), so the choice is
+        # purely a speed call: the dict BFS is faster per source, but on a
+        # big vectorized snapshot whose adjacency was never materialised
+        # the array traversal avoids paying adjacency_from_csr for what is
+        # typically a single routing query.
+        if (
+            self._csr is not None
+            and self._adjacency_store is None
+            and len(self.positions) >= _FULL_BFS_CSR_MIN
+        ):
+            cached = soa.bfs_from_csr(self._csr, source)
+            self._bfs_cache[source] = cached
             return cached
         # Level-synchronous BFS: same discovery order as a FIFO queue, but
         # without per-node deque and depth-lookup overhead.
@@ -445,9 +560,9 @@ class TopologySnapshot:
         Returns ``None`` when the nodes are partitioned, ``[source]`` when
         ``source == target``.
         """
-        if source not in self._adjacency:
+        if source not in self.positions:
             raise TopologyError(f"source node {source!r} is not online")
-        if target not in self._adjacency:
+        if target not in self.positions:
             return None
         if source == target:
             return [source]
@@ -468,9 +583,9 @@ class TopologySnapshot:
 
     def hop_distance(self, source: int, target: int) -> Optional[int]:
         """Number of hops on a shortest path, or ``None`` if unreachable."""
-        if source not in self._adjacency:
+        if source not in self.positions:
             raise TopologyError(f"source node {source!r} is not online")
-        if target not in self._adjacency:
+        if target not in self.positions:
             return None
         levels, _, _, _ = self._bfs_from(source)
         return levels.get(target)
@@ -483,8 +598,28 @@ class TopologySnapshot:
         dict preserves BFS discovery order and is a fresh copy the caller
         may mutate.
         """
-        if source not in self._adjacency:
+        if source not in self.positions:
             raise TopologyError(f"source node {source!r} is not online")
+        if (
+            self._csr is not None
+            and max_depth is not None
+            and max_depth >= 0
+            and source not in self._bfs_cache
+        ):
+            # Depth-bounded vectorized BFS: a TTL flood only needs the
+            # first few levels, so skip the far side of the graph.  The
+            # bounded run is reused while it covers the requested depth;
+            # ``complete`` marks traversals that exhausted the component
+            # before the bound and therefore cover any depth.
+            entry = self._bfs_partial.get(source)
+            if entry is None or not (entry[1] or len(entry[0][3]) - 1 >= max_depth):
+                quad = soa.bfs_from_csr(self._csr, source, max_depth)
+                entry = (quad, len(quad[3]) - 1 < max_depth)
+                self._bfs_partial[source] = entry
+            levels, _, items, prefix = entry[0]
+            if max_depth >= len(prefix) - 1:
+                return dict(levels)
+            return dict(items[: prefix[max_depth]])
         levels, _, items, prefix = self._bfs_from(source)
         # items is in BFS discovery order, i.e. nondecreasing depth, so the
         # depth limit selects a precomputed prefix of the traversal.
@@ -496,7 +631,7 @@ class TopologySnapshot:
 
     def connected_components(self) -> List[Set[int]]:
         """Partition of the online nodes into connected components."""
-        remaining = set(self._adjacency)
+        remaining = self._key_set()
         components: List[Set[int]] = []
         while remaining:
             seed = next(iter(remaining))
@@ -507,12 +642,14 @@ class TopologySnapshot:
 
     def is_connected(self) -> bool:
         """``True`` when all online nodes form a single component."""
-        if not self._adjacency:
+        if not self.positions:
             return True
         return len(self.connected_components()) == 1
 
     def edge_count(self) -> int:
         """Number of undirected radio links in the snapshot."""
+        if self._adjacency_store is None and self._csr is not None:
+            return self._csr.neighbors.shape[0] // 2
         return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
 
 
@@ -559,6 +696,7 @@ class TopologyService:
         node_states: Callable[[], Iterable[Tuple[int, Optional[Point], bool]]],
         radio_range: float,
         quantum: float = 1.0,
+        delta_source=None,
     ) -> None:
         if radio_range <= 0:
             raise TopologyError(f"radio_range must be positive, got {radio_range!r}")
@@ -566,6 +704,10 @@ class TopologyService:
             raise TopologyError(f"quantum must be positive, got {quantum!r}")
         self._clock = clock
         self._node_states = node_states
+        # Optional SoA position ledger (repro.net.soa.SoAPositionLedger):
+        # when set, refreshes pull (positions, changed) straight from its
+        # arrays instead of iterating node_states and diffing per node.
+        self._delta_source = delta_source
         self.radio_range = float(radio_range)
         self.quantum = float(quantum)
         self._cached: Optional[TopologySnapshot] = None
@@ -594,10 +736,13 @@ class TopologyService:
 
     def current(self) -> TopologySnapshot:
         """Return the snapshot for the current time bucket."""
-        bucket = int(math.floor(self._clock() / self.quantum))
+        now = self._clock()
+        bucket = int(math.floor(now / self.quantum))
         cached = self._cached
         if cached is not None and bucket == self._cached_bucket and not self._dirty:
             return cached
+        if self._delta_source is not None:
+            return self._refresh_from_ledger(now, bucket, cached)
         positions = {
             node_id: position
             for node_id, position, online in self._node_states()
@@ -643,6 +788,57 @@ class TopologyService:
                 return snap
         self._cached = TopologySnapshot(
             positions, self.radio_range, edge_filter=self.edge_filter
+        )
+        self.snapshots_built += 1
+        self._order = None
+        return self._cached
+
+    def _refresh_from_ledger(
+        self, now: float, bucket: int, cached: Optional[TopologySnapshot]
+    ) -> TopologySnapshot:
+        """Refresh via the SoA position ledger.
+
+        Mirrors the scalar decision tree of :meth:`current` exactly —
+        reuse on an empty delta, patch on a small one, rebuild otherwise
+        — with the change detection done once in the ledger's arrays
+        instead of per node here.
+        """
+        positions, changed = self._delta_source.refresh(now)
+        self._cached_bucket = bucket
+        self._dirty = False
+        if (
+            cached is not None
+            and self.incremental
+            and cached._edge_filter is self.edge_filter
+        ):
+            if not changed:
+                self.snapshots_reused += 1
+                return cached
+            limit = max(self.delta_floor, int(len(positions) * self.delta_fraction))
+            if len(changed) <= limit and self.edge_filter is None:
+                order = self._order
+                if order is None or cached.positions.keys() != positions.keys():
+                    order = self._order = {
+                        node: rank for rank, node in enumerate(positions)
+                    }
+                # The ledger never mutates a handed-out dict (it copies on
+                # change), so the snapshot may hold ``positions`` directly.
+                snap = TopologySnapshot.from_delta(
+                    cached, positions, changed, self.verify_retention, order
+                )
+                self.incremental_updates += 1
+                self.bfs_trees_retained += len(snap._bfs_cache)
+                self._cached = snap
+                return snap
+        if isinstance(positions, soa.ArrayPositions):
+            position_arrays = positions.arrays()
+        else:
+            position_arrays = self._delta_source.online_arrays()
+        self._cached = TopologySnapshot(
+            positions,
+            self.radio_range,
+            edge_filter=self.edge_filter,
+            position_arrays=position_arrays,
         )
         self.snapshots_built += 1
         self._order = None

@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.obs.bus import NULL_TRACE
@@ -198,6 +198,46 @@ class Simulator:
         heapq.heappush(self._heap, event)
         self._pending += 1
         return event
+
+    def schedule_batch(
+        self, events: "Iterable[tuple]"
+    ) -> List[EventHandle]:
+        """Schedule many ``(delay, callback, args)`` events in one call.
+
+        Sequence numbers are assigned in iteration order, so the resulting
+        event stream is identical to calling :meth:`schedule` once per
+        entry — this is purely a throughput optimisation for bulk
+        producers such as floods and batched validity-expiry timers.
+        Large batches are appended and re-heapified instead of pushed one
+        by one; ``heapify`` preserves the ``(time, seq)`` pop order, so
+        determinism is unchanged.
+        """
+        now = self._now
+        seq = self._seq
+        note_cancel = self._note_cancel
+        batch: List[EventHandle] = []
+        for delay, callback, args in events:
+            if delay < 0:
+                raise SchedulingError(
+                    f"cannot schedule into the past (delay={delay!r})"
+                )
+            time = now + delay
+            if not math.isfinite(time):
+                raise SchedulingError(f"event time must be finite, got {time!r}")
+            if not callable(callback):
+                raise SchedulingError(f"callback must be callable, got {callback!r}")
+            batch.append(EventHandle(time, next(seq), callback, tuple(args), note_cancel))
+        if not batch:
+            return batch
+        heap = self._heap
+        if len(batch) * 8 < len(heap):
+            for event in batch:
+                heapq.heappush(heap, event)
+        else:
+            heap.extend(batch)
+            heapq.heapify(heap)
+        self._pending += len(batch)
+        return batch
 
     # ------------------------------------------------------------------
     # Execution

@@ -158,6 +158,58 @@ class TestRunBench:
         assert ratios["churn_overhead"] == pytest.approx(1.05)
         assert topology_speedups({}) == {}
 
+    def test_scale_benchmark_names_match_committed_baseline(self, tmp_path):
+        import pathlib
+
+        from benchmarks.bench_scale import scale_benchmarks
+        from repro.net import soa
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_scale.json"
+        )
+        committed = set(load_baseline(baseline_path))
+        defined = {name for name, _ in scale_benchmarks(str(tmp_path))}
+        if soa.HAVE_NUMPY:
+            assert defined == committed
+        else:
+            # Without the perf extra only the scalar arm exists; the gate
+            # treats the vectorized entries as missing (never a failure).
+            assert defined == {n for n in committed if "scalar" in n}
+
+    def test_scale_speedups_derived_from_timings(self):
+        from benchmarks.bench_scale import scale_speedups
+
+        ratios = scale_speedups({
+            "scale_run_scalar_1000": 0.30,
+            "scale_run_vectorized_1000": 0.10,
+            "scale_run_scalar_10000": 14.0,
+            "scale_run_vectorized_10000": 2.5,
+        })
+        assert ratios == {
+            "vectorized_speedup_1000": pytest.approx(3.0),
+            "vectorized_speedup_10000": pytest.approx(5.6),
+        }
+        assert scale_speedups({}) == {}
+
+    def test_committed_scale_baseline_records_the_target_speedup(self):
+        """The acceptance bar: the committed 10k-node vectorized run is
+        at least 5x faster than the committed scalar run."""
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_scale.json"
+        )
+        data = json.loads(baseline_path.read_text())
+        assert data["meta"]["vectorized_speedup_10000"] >= 5.0
+        results = data["results"]
+        for scale in (1000, 5000, 10000):
+            assert results[f"scale_run_scalar_{scale}"] > 0
+            assert results[f"scale_run_vectorized_{scale}"] > 0
+
     def test_pause_schedule_movers_stay_under_delta_threshold(self):
         """The pause-heavy scenario only measures the delta path if the
         steady-state mover fraction stays under the service threshold —

@@ -21,9 +21,14 @@ def test_run_profile_writes_loadable_pstats(tmp_path, capsys):
     out = tmp_path / "run.pstats"
     code = main(BASE + ["--no-cache", "run", "push", "--profile", str(out)])
     assert code == 0
-    captured = capsys.readouterr().out
-    assert f"-> {out}" in captured
-    assert "events processed" in captured
+    captured = capsys.readouterr()
+    assert f"-> {out}" in captured.out
+    assert "events processed" in captured.out
+
+    # The hot-spot digest goes to stderr: top functions by cumulative
+    # time, without polluting the stdout summary.
+    assert "cumulative" in captured.err
+    assert "engine.py" in captured.err
 
     # Round-trip: the dump must load as pstats data and contain frames
     # from the simulation loop itself.
@@ -51,6 +56,23 @@ def test_run_footer_reports_topology_counters(capsys):
     assert "reused" in captured
     assert "incremental" in captured
     assert "BFS trees retained" in captured
+
+
+def test_run_footer_reports_which_core_ran(capsys):
+    from repro.net import soa
+
+    code = main(BASE + ["--no-cache", "run", "push"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    expected = "vectorized" if soa.soa_enabled() else "scalar"
+    assert f"({expected} core)" in captured
+
+
+def test_run_footer_reports_scalar_core_when_forced(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SOA", "0")
+    code = main(BASE + ["--no-cache", "run", "push"])
+    assert code == 0
+    assert "(scalar core)" in capsys.readouterr().out
 
 
 def test_parser_accepts_profile_flag():

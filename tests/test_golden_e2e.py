@@ -137,6 +137,28 @@ def test_replay_is_bit_identical():
     assert strip(first_events) == strip(second_events)
 
 
+def test_golden_digest_identical_on_both_cores(monkeypatch):
+    """One golden cell rerun on each core must yield the committed digest.
+
+    ``BUILD_MIN_NODES`` drops to 0 on the vectorized arm so the 20-peer
+    golden population takes the array build path instead of the scalar
+    small-graph fallback.
+    """
+    from repro.net import soa
+
+    if not soa.HAVE_NUMPY:
+        pytest.skip("numpy (the perf extra) is not installed")
+    monkeypatch.setenv("REPRO_SOA", "1")
+    monkeypatch.setattr(soa, "BUILD_MIN_NODES", 0)
+    vectorized = _digest(*_run_cell("rpcc-sc", 7))
+    monkeypatch.setenv("REPRO_SOA", "0")
+    scalar = _digest(*_run_cell("rpcc-sc", 7))
+    assert vectorized == scalar
+    golden = _load_golden()
+    if not UPDATE and "rpcc-sc-seed7" in golden:
+        assert vectorized == golden["rpcc-sc-seed7"]
+
+
 def test_golden_file_covers_the_whole_matrix():
     if UPDATE:
         pytest.skip("regenerating")
