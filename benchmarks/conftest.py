@@ -12,13 +12,12 @@ results are cached per session and computed at most once.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Tuple
 
 import pytest
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.executor import CampaignExecutor
+from repro.experiments.executor import CampaignExecutor, env_jobs
 from repro.experiments.figures.base import run_axis_sweep
 from repro.experiments.runner import STRATEGY_SPECS, SimulationResult
 
@@ -35,7 +34,7 @@ _SWEEP_CACHE: Dict[Tuple, Dict] = {}
 #: The executor behind every figure benchmark.  Serial and uncached by
 #: default so timings stay honest; export ``REPRO_BENCH_JOBS=N`` to fan
 #: the sweeps out on a multicore box (results are bit-identical).
-_BENCH_EXECUTOR = CampaignExecutor(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+_BENCH_EXECUTOR = CampaignExecutor(jobs=env_jobs("REPRO_BENCH_JOBS"))
 
 
 def cached_axis_sweep(axis: str, values: tuple, specs: tuple = STRATEGY_SPECS):

@@ -27,7 +27,13 @@ file:
   ``BENCH_scale.json``; the per-scale vectorized speedups land in the
   baseline metadata.  These benchmarks are self-timing (they report the
   run phase only, excluding world construction), so they are measured
-  via :func:`measure_returned`.
+  via :func:`measure_returned`;
+* ``campaign`` — the persistence layers of ``bench_campaign.py`` (a
+  synthetic 1000-point campaign written and read back through the
+  per-pickle cache and through the columnar result store), gated against
+  ``BENCH_campaign.json``; the store-vs-pickle speedup and the
+  deterministic filesystem-write reduction land in the metadata, where
+  the committed-target tests hold them to >=5x and >=100x.
 
 Usage::
 
@@ -71,7 +77,8 @@ from repro.mobility.waypoint import RandomWaypoint  # noqa: E402
 from repro.net.topology import TopologySnapshot  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
-SUITES = ("kernel", "sweep", "trace", "topology", "faults", "scale")
+SUITES = ("kernel", "sweep", "trace", "topology", "faults", "scale",
+          "campaign")
 
 #: Timing repetitions per suite (the best is kept).  The sweep campaign
 #: is seconds-per-iteration, so it repeats less than the ms-scale kernels;
@@ -80,7 +87,7 @@ SUITES = ("kernel", "sweep", "trace", "topology", "faults", "scale")
 #: benchmark that appears to regress).
 SUITE_REPEATS = {
     "kernel": 5, "sweep": 2, "trace": 3, "topology": 3, "faults": 3,
-    "scale": 1,
+    "scale": 1, "campaign": 3,
 }
 
 #: Suites whose benchmark callables time themselves and return seconds
@@ -198,6 +205,10 @@ def suite_benchmarks(
         from benchmarks.bench_scale import scale_benchmarks
 
         return scale_benchmarks(workdir)
+    if suite == "campaign":
+        from benchmarks.bench_campaign import campaign_benchmarks
+
+        return campaign_benchmarks(workdir)
     raise ValueError(f"unknown suite {suite!r}")
 
 
@@ -353,6 +364,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from benchmarks.bench_scale import scale_speedups
 
             for name, value in scale_speedups(results).items():
+                meta[name] = round(value, 3)
+                print(f"  {name:<24} {value:10.2f}x")
+        elif suite == "campaign":
+            from benchmarks.bench_campaign import campaign_speedups
+
+            for name, value in campaign_speedups(results).items():
                 meta[name] = round(value, 3)
                 print(f"  {name:<24} {value:10.2f}x")
 

@@ -1,12 +1,16 @@
 """Collect paper-scale reproduction numbers for EXPERIMENTS.md.
 
 Runs go through the campaign executor: ``REPRO_JOBS=N`` fans them out
-over N worker processes (bit-identical results), and the content-
-addressed cache under ``results/.cache`` makes an interrupted collection
+over N worker processes (bit-identical results), and the append-only
+columnar store under ``results/.store`` makes an interrupted collection
 resumable — already-finished points are read back instead of re-run.
+The old pickle cache under ``results/.cache`` is kept attached as a
+read-only compatibility path, so pre-store collections retain value.
 """
-import json, os, time
-from repro.experiments import CampaignExecutor, ResultCache, SimulationConfig
+import json, time
+from repro.experiments import (
+    CampaignExecutor, ResultCache, ResultStore, SimulationConfig, env_jobs,
+)
 from repro.experiments.figures.base import run_axis_sweep
 from repro.experiments.figures.fig7 import UPDATE_INTERVALS, QUERY_INTERVALS, CACHE_NUMBERS
 from repro.experiments.figures.fig9 import run_fig9
@@ -16,8 +20,9 @@ t0 = time.time()
 config = SimulationConfig(sim_time=1800.0, warmup=600.0, seed=1)
 out = {"config": {"sim_time": 1800.0, "warmup": 600.0}}
 executor = CampaignExecutor(
-    jobs=int(os.environ.get("REPRO_JOBS", "1")),
+    jobs=env_jobs("REPRO_JOBS"),
     cache=ResultCache("/root/repo/results/.cache"),
+    store=ResultStore("/root/repo/results/.store"),
 )
 
 def pack(result):

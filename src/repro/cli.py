@@ -15,6 +15,14 @@ bit-identical results; finished runs land in a content-addressed cache
 (``results/.cache/`` unless ``--cache-dir`` moves it), so ``fig8a`` after
 ``fig7a`` re-reads the shared sweep instead of re-simulating it.  Disable
 with ``--no-cache``; purge by deleting the cache directory.
+
+``--store [DIR]`` switches campaign persistence to the append-only
+columnar result store (one batch commit per ~256 runs instead of one
+pickle per run); add ``--resume`` to serve already-completed points from
+the store, and ``--workers N`` to shard the remaining points across N
+worker processes by stable content-address hash.  A killed campaign
+rerun with the same ``--store --resume`` flags picks up where it
+stopped.  See EXPERIMENTS.md ("Campaign execution") for the full model.
 """
 
 from __future__ import annotations
@@ -23,12 +31,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import SimulationConfig
 from repro.experiments.executor import (
     DEFAULT_CACHE_DIR,
     CampaignExecutor,
     ResultCache,
 )
+from repro.experiments.store import DEFAULT_STORE_DIR, ResultStore
+from repro.experiments.transport import ShardedTransport
 from repro.experiments.figures import (
     CACHE_NUMBERS,
     QUERY_INTERVALS,
@@ -80,6 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help="where cached results live "
                         f"(default {DEFAULT_CACHE_DIR}; delete to purge)")
+    parser.add_argument("--store", nargs="?", const=DEFAULT_STORE_DIR,
+                        metavar="DIR", default=None,
+                        help="persist campaign results in an append-only "
+                        "columnar store at DIR instead of per-run pickles "
+                        f"(default DIR {DEFAULT_STORE_DIR}; see "
+                        "EXPERIMENTS.md); the pickle cache stays a "
+                        "read-only compatibility path")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --store: serve already-completed points "
+                        "from the store and simulate only the remainder")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard campaign points across N worker "
+                        "processes by stable content-address hash "
+                        "(static sharding; combine with --store --resume "
+                        "for resumable campaigns — mutually exclusive "
+                        "with --jobs)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one simulation")
@@ -161,14 +188,41 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
 
 def _executor(args: argparse.Namespace) -> CampaignExecutor:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return CampaignExecutor(jobs=args.jobs, cache=cache)
+    store = ResultStore(args.store) if args.store else None
+    if args.resume and store is None:
+        raise ConfigurationError("--resume needs --store")
+    transport = None
+    if args.workers > 1:
+        if args.jobs > 1:
+            raise ConfigurationError(
+                "--workers (static sharding) and --jobs (dynamic pool) "
+                "are mutually exclusive; pick one"
+            )
+        transport = ShardedTransport(args.workers)
+    return CampaignExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        store=store,
+        resume=args.resume,
+        transport=transport,
+    )
 
 
 def _report_cache(executor: CampaignExecutor) -> None:
     cache = executor.cache
+    store = executor.store
     if cache is not None and (cache.hits or cache.misses):
-        print(f"cache: {cache.hits} hits, {cache.misses} misses "
-              f"({cache.root}); {executor.runs_executed} runs simulated")
+        footer = (f"cache: {cache.hits} hits, {cache.misses} misses "
+                  f"({cache.root}); {executor.runs_executed} runs simulated")
+        if cache.corrupt:
+            footer += f"; {cache.corrupt} corrupt entries quarantined"
+        print(footer)
+    if store is not None:
+        stats = store.stats
+        print(f"store: {executor.store_hits} served, "
+              f"{stats['records_appended']} appended in "
+              f"{stats['batches_committed']} batches ({store.root}); "
+              f"{executor.runs_executed} runs simulated")
 
 
 def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:

@@ -6,7 +6,14 @@ from repro.experiments.executor import (
     CampaignExecutor,
     CampaignRunError,
     ResultCache,
+    env_jobs,
     run_key,
+)
+from repro.experiments.store import ResultStore, RunRecord, shard_of
+from repro.experiments.transport import (
+    PoolTransport,
+    SerialTransport,
+    ShardedTransport,
 )
 from repro.experiments.runner import (
     STRATEGY_SPECS,
@@ -38,5 +45,12 @@ __all__ = [
     "CampaignExecutor",
     "CampaignRunError",
     "ResultCache",
+    "ResultStore",
+    "RunRecord",
+    "PoolTransport",
+    "SerialTransport",
+    "ShardedTransport",
+    "env_jobs",
     "run_key",
+    "shard_of",
 ]

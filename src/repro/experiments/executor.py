@@ -1,22 +1,32 @@
-"""Campaign execution: parallel run fan-out plus a content-addressed cache.
+"""Campaign execution: work-queue fan-out over a durable result store.
 
 A figure-scale campaign (six strategy curves x several axis points x
 multi-seed replication) is embarrassingly parallel: every run is
 independently seeded via ``RandomStreams(config.seed)``, so runs share no
 state and can execute in any order — or concurrently — with bit-identical
-results.  :class:`CampaignExecutor` exploits exactly that: it fans a list
-of ``(config, spec, scenario)`` tasks out over a ``ProcessPoolExecutor``
-(``jobs > 1``) or runs them inline (``jobs == 1``, the default, which
-preserves historical behaviour byte for byte).
+results.  The campaign layer splits into three interfaces:
 
-Underneath sits :class:`ResultCache`, a content-addressed on-disk store:
-the cache key is a stable hash of every ``SimulationConfig`` field plus
-the spec, the scenario and a cache-format version.  Fig 7 and Fig 8 read
-different metrics of the *same* sweeps, so ``fig7a`` followed by
-``fig8a`` is a full cache hit for the second command, and re-running a
-figure after an unrelated code change costs no simulation time.  Purge
-with :meth:`ResultCache.purge` (or ``rm -r results/.cache``) whenever a
-code change alters simulation semantics without bumping
+* **executor** (this module) — :class:`CampaignExecutor` owns the
+  bookkeeping: content-address every task (:func:`run_key`), skip points
+  the store or cache already holds, hand the remainder to a transport,
+  and commit finished points as they stream back.
+
+* **transport** (`repro.experiments.transport`) — how pending points
+  reach workers: inline, dynamic process pool, or static stable-hash
+  shards (``--workers``).
+
+* **store** (`repro.experiments.store`) — the durable layer: an
+  append-only columnar :class:`~repro.experiments.store.ResultStore`
+  whose record batches replace per-run pickles.  Campaigns against a
+  store are *resumable and idempotent*: a restarted campaign scans the
+  store index, serves completed points from it, and re-runs only the
+  remainder.
+
+:class:`ResultCache` — one pickle per run under ``results/.cache/`` —
+remains as the compatibility read path (and the default write path when
+no store is configured), so existing cache directories keep their value.
+Purge with :meth:`ResultCache.purge` (or ``rm -r results/.cache``)
+whenever a code change alters simulation semantics without bumping
 :data:`CACHE_FORMAT_VERSION`.
 """
 
@@ -26,16 +36,19 @@ import hashlib
 import json
 import os
 import pickle
-import traceback
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import SimulationResult, run_simulation
+from repro.experiments.runner import SimulationResult
+from repro.experiments.store import ResultStore
+from repro.experiments.transport import (
+    PoolTransport,
+    SerialTransport,
+    Transport,
+)
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -43,6 +56,7 @@ __all__ = [
     "CampaignExecutor",
     "CampaignRunError",
     "ResultCache",
+    "env_jobs",
     "run_key",
 ]
 
@@ -56,6 +70,27 @@ DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
 
 #: One unit of campaign work.
 RunTask = Tuple[SimulationConfig, str, str]
+
+
+def env_jobs(name: str, default: int = 1) -> int:
+    """Parse a worker-count environment variable (``REPRO_JOBS`` etc.).
+
+    Unset or blank means ``default``; anything that is not a positive
+    integer raises :class:`ConfigurationError` instead of surfacing later
+    as an opaque pool failure.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return value
 
 
 def run_key(config: SimulationConfig, spec: str, scenario: str = "standard") -> str:
@@ -80,17 +115,35 @@ class ResultCache:
 
     One file per run under ``root`` (``<key>.pkl``); writes are atomic
     (temp file + rename) so a crashed run never leaves a half-written
-    entry, and unreadable entries are treated as misses and deleted.
+    entry.  Unreadable entries are treated as misses and *quarantined* —
+    renamed to ``<key>.pkl.corrupt`` instead of silently deleted — and
+    counted in :attr:`cache_stats`, so cache rot is visible (the CLI
+    footer reports it) and the evidence survives for inspection.
     """
 
     def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/quarantine counters of this cache handle."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_quarantined": self.corrupt,
+        }
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.root / f"{key}.pkl"
+
+    def quarantine_path_for(self, key: str) -> Path:
+        """Where a corrupt entry for ``key`` is moved on detection."""
+        path = self.path_for(key)
+        return path.with_name(path.name + ".corrupt")
 
     def get(self, key: str) -> Optional[SimulationResult]:
         """Return the cached result for ``key``, or ``None`` on a miss."""
@@ -102,8 +155,13 @@ class ResultCache:
             self.misses += 1
             return None
         except Exception:
-            # Truncated or stale-format entry: drop it and recompute.
-            path.unlink(missing_ok=True)
+            # Truncated or stale-format entry: quarantine it (keep the
+            # evidence), count it, and recompute.
+            try:
+                os.replace(path, self.quarantine_path_for(key))
+            except OSError:
+                path.unlink(missing_ok=True)
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -118,12 +176,13 @@ class ResultCache:
         os.replace(tmp, path)
 
     def purge(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry (quarantined ones included)."""
         removed = 0
         if self.root.is_dir():
-            for entry in self.root.glob("*.pkl"):
-                entry.unlink(missing_ok=True)
-                removed += 1
+            for pattern in ("*.pkl", "*.pkl.corrupt"):
+                for entry in self.root.glob(pattern):
+                    entry.unlink(missing_ok=True)
+                    removed += 1
         return removed
 
     def __len__(self) -> int:
@@ -138,7 +197,9 @@ class CampaignRunError(SimulationError):
     The executor raises this instead of letting a worker traceback
     propagate half-decoded (or, worse, letting a dead worker hang the
     pool): it names the ``(spec, scenario)`` point, keeps the exact
-    ``config``, and embeds the worker's formatted traceback.
+    ``config``, and embeds the worker's formatted traceback.  Points that
+    completed before the failure are already committed to the result
+    store, so a rerun resumes instead of restarting.
     """
 
     def __init__(
@@ -158,40 +219,55 @@ class CampaignRunError(SimulationError):
         )
 
 
-def _execute_task(task: RunTask) -> Tuple[str, object]:
-    """Worker body: run one simulation, never let an exception escape raw.
-
-    Returns ``("ok", result)`` or ``("error", formatted_traceback)`` so
-    the parent can re-raise with the task's config attached; raising the
-    original exception across the process boundary would require it to
-    pickle, which arbitrary third-party exceptions need not.
-    """
-    config, spec, scenario = task
-    try:
-        return "ok", run_simulation(config, spec, scenario)
-    except Exception:
-        return "error", traceback.format_exc()
-
-
 class CampaignExecutor:
     """Run batches of independent simulation tasks, cached and in parallel.
 
     Parameters
     ----------
     jobs:
-        Worker processes; ``1`` (default) runs inline with no pool, so
-        default behaviour is identical to the historical serial loops.
+        Worker processes for the default dynamic-pool transport; ``1``
+        (default) runs inline, preserving the historical serial loop.
     cache:
-        Optional :class:`ResultCache`; ``None`` disables caching.
+        Optional :class:`ResultCache`.  Without a ``store`` it is the
+        read *and* write path (historical behaviour); with one it stays
+        read-only — a compatibility path for existing pickle caches.
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`.  When
+        given, finished runs are committed to the store in columnar
+        batches (the pickle-per-run write path is off) and — with
+        ``resume=True`` — already-stored points are served from it.
+    resume:
+        Whether the store's existing contents satisfy tasks (default
+        ``True``).  ``False`` re-runs and re-appends every point (the
+        merged view then serves the new rows, last writer wins).
+    transport:
+        Optional explicit :class:`~repro.experiments.transport.Transport`
+        (e.g. a stable-hash ``ShardedTransport``); overrides ``jobs``.
+    store_batch:
+        Records buffered per columnar batch commit.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        store: Optional[ResultStore] = None,
+        resume: bool = True,
+        transport: Optional[Transport] = None,
+        store_batch: int = 256,
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
         self.jobs = jobs
         self.cache = cache
-        #: Simulations actually executed (cache hits excluded).
+        self.store = store
+        self.resume = resume
+        self.transport = transport
+        self.store_batch = store_batch
+        #: Simulations actually executed (store/cache hits excluded).
         self.runs_executed = 0
+        #: Tasks served from the store without simulating.
+        self.store_hits = 0
 
     # ------------------------------------------------------------------
     def run_one(
@@ -207,9 +283,10 @@ class CampaignExecutor:
         """Run every task, returning results in task order.
 
         Identical tasks (same content address) are executed once and
-        share their result; cached tasks are served without simulating.
-        Parallel execution is bit-identical to serial because every run
-        is a pure function of its ``(config, spec, scenario)`` triple.
+        share their result; store- and cache-resident tasks are served
+        without simulating.  Parallel and sharded execution are
+        bit-identical to serial because every run is a pure function of
+        its ``(config, spec, scenario)`` triple.
         """
         keys = [run_key(config, spec, scenario) for config, spec, scenario in tasks]
         unique: Dict[str, RunTask] = {}
@@ -217,66 +294,64 @@ class CampaignExecutor:
             unique.setdefault(key, task)
 
         resolved: Dict[str, SimulationResult] = {}
+        if self.store is not None and self.resume:
+            found = self.store.get_many(list(unique))
+            for key, record in found.items():
+                resolved[key] = record.to_result(unique[key][0])
+            self.store_hits += len(found)
         if self.cache is not None:
             for key in unique:
+                if key in resolved:
+                    continue
                 hit = self.cache.get(key)
                 if hit is not None:
                     resolved[key] = hit
         pending = [(key, task) for key, task in unique.items() if key not in resolved]
 
-        if self.jobs == 1 or len(pending) <= 1:
-            fresh = self._run_serial(pending)
-        else:
-            fresh = self._run_parallel(pending)
-        self.runs_executed += len(fresh)
-        if self.cache is not None:
-            for key, result in fresh.items():
-                self.cache.put(key, result)
-        resolved.update(fresh)
+        resolved.update(self._execute(pending))
         return [resolved[key] for key in keys]
 
     # ------------------------------------------------------------------
-    def _run_serial(
-        self, pending: Sequence[Tuple[str, RunTask]]
-    ) -> Dict[str, SimulationResult]:
-        fresh: Dict[str, SimulationResult] = {}
-        for key, task in pending:
-            status, payload = _execute_task(task)
-            if status == "error":
-                config, spec, scenario = task
-                raise CampaignRunError(spec, scenario, config, str(payload))
-            fresh[key] = payload  # type: ignore[assignment]
-        return fresh
+    def _pick_transport(self, pending_count: int) -> Transport:
+        if self.transport is not None:
+            return self.transport
+        if self.jobs == 1 or pending_count <= 1:
+            return SerialTransport()
+        return PoolTransport(self.jobs)
 
-    def _run_parallel(
+    def _execute(
         self, pending: Sequence[Tuple[str, RunTask]]
     ) -> Dict[str, SimulationResult]:
+        """Stream pending tasks through the transport, committing as we go.
+
+        Completed points are committed (columnar batch append or pickle
+        put) *before* a later failure can raise, so an interrupted
+        campaign keeps everything that finished.
+        """
         fresh: Dict[str, SimulationResult] = {}
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_task, task): (key, task) for key, task in pending
-            }
-            try:
-                done, _ = wait(futures, return_when=FIRST_EXCEPTION)
-                for future in done:
-                    key, task = futures[future]
-                    status, payload = future.result()
-                    if status == "error":
-                        config, spec, scenario = task
-                        raise CampaignRunError(spec, scenario, config, str(payload))
-                    fresh[key] = payload  # type: ignore[assignment]
-            except BrokenProcessPool as exc:
-                # A worker died without reporting (OOM kill, segfault):
-                # name one of the tasks that was still in flight.
-                config, spec, scenario = next(iter(futures.values()))[1]
-                raise CampaignRunError(
-                    spec,
-                    scenario,
-                    config,
-                    f"worker process died abruptly: {exc}",
-                ) from exc
-            finally:
-                for future in futures:
-                    future.cancel()
+        if not pending:
+            return fresh
+        transport = self._pick_transport(len(pending))
+        writer = (
+            self.store.writer(
+                writer_id=f"w{os.getpid()}", batch_size=self.store_batch
+            )
+            if self.store is not None
+            else None
+        )
+        try:
+            for key, task, status, payload in transport.execute(pending):
+                if status == "error":
+                    config, spec, scenario = task
+                    raise CampaignRunError(spec, scenario, config, str(payload))
+                result: SimulationResult = payload  # type: ignore[assignment]
+                fresh[key] = result
+                self.runs_executed += 1
+                if writer is not None:
+                    writer.add_result(key, result)
+                elif self.cache is not None:
+                    self.cache.put(key, result)
+        finally:
+            if writer is not None:
+                writer.close()
         return fresh

@@ -1,0 +1,233 @@
+"""Work transports: how pending campaign points reach their workers.
+
+:class:`repro.experiments.executor.CampaignExecutor` used to own both
+the "what still needs running" bookkeeping and the "how do runs reach a
+process" mechanics.  The work-queue refactor splits the second half out
+behind one small interface so the executor no longer cares whether work
+runs inline, on a process pool, or (later) on other machines behind a
+file- or socket-backed queue:
+
+* :class:`WorkQueue` / :class:`InProcessQueue` — the claim/complete
+  protocol.  A worker claims one task at a time; completions stream back
+  as they happen.  The in-process queue is a plain deque today, but the
+  interface is exactly what a file- or socket-backed implementation for
+  multi-machine fan-out must speak.
+
+* :class:`SerialTransport` — one inline worker draining an
+  :class:`InProcessQueue` (the ``jobs == 1`` default, byte-for-byte the
+  historical serial loop).
+
+* :class:`PoolTransport` — a :class:`ProcessPoolExecutor` fan-out with
+  *streaming* completions (``as_completed``), so the executor can commit
+  finished points to the result store while others still run — which is
+  what makes an interrupted parallel campaign resumable from the last
+  committed batch instead of from zero.
+
+* :class:`ShardedTransport` — static sharding by stable content-address
+  hash (:func:`repro.experiments.store.shard_of`): shard *i* of *N*
+  always holds the same points, no matter the process or host.  One
+  worker process claims each non-empty shard, which is the single-host
+  version of the "many workers, one shared store" campaign model.
+
+Every transport yields ``(key, task, status, payload)`` tuples where
+``status`` is ``"ok"`` (payload = the result) or ``"error"`` (payload =
+the worker's formatted traceback); the executor turns errors into
+:class:`repro.experiments.executor.CampaignRunError`.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Deque, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.store import shard_of
+
+__all__ = [
+    "Completion",
+    "InProcessQueue",
+    "PoolTransport",
+    "SerialTransport",
+    "ShardedTransport",
+    "Transport",
+    "WorkQueue",
+]
+
+#: One pending unit: ``(key, (config, spec, scenario))``.
+PendingTask = Tuple[str, tuple]
+
+#: One finished unit: ``(key, task, status, payload)``.
+Completion = Tuple[str, tuple, str, object]
+
+
+def execute_one(task) -> Tuple[str, object]:
+    """Run one simulation; never let a worker exception escape raw.
+
+    Returns ``("ok", result)`` or ``("error", formatted_traceback)``:
+    re-raising the original exception across a process boundary would
+    require it to pickle, which arbitrary exceptions need not.
+    """
+    from repro.experiments.runner import run_simulation
+
+    config, spec, scenario = task
+    try:
+        return "ok", run_simulation(config, spec, scenario)
+    except Exception:
+        return "error", traceback.format_exc()
+
+
+class WorkQueue:
+    """The claim/complete protocol every queue implementation speaks."""
+
+    def put(self, key: str, task) -> None:
+        raise NotImplementedError
+
+    def claim(self) -> Optional[PendingTask]:
+        """Take one pending task, or ``None`` when the queue is drained."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InProcessQueue(WorkQueue):
+    """FIFO work queue living in this process (deque-backed)."""
+
+    def __init__(self, pending: Sequence[PendingTask] = ()) -> None:
+        self._pending: Deque[PendingTask] = deque(pending)
+
+    def put(self, key: str, task) -> None:
+        self._pending.append((key, task))
+
+    def claim(self) -> Optional[PendingTask]:
+        try:
+            return self._pending.popleft()
+        except IndexError:
+            return None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class Transport:
+    """Executes pending tasks, streaming completions as they finish."""
+
+    def execute(self, pending: Sequence[PendingTask]) -> Iterator[Completion]:
+        raise NotImplementedError
+
+
+class SerialTransport(Transport):
+    """Inline execution: one worker claiming from an in-process queue."""
+
+    def execute(self, pending: Sequence[PendingTask]) -> Iterator[Completion]:
+        queue = InProcessQueue(pending)
+        while True:
+            claimed = queue.claim()
+            if claimed is None:
+                return
+            key, task = claimed
+            status, payload = execute_one(task)
+            yield key, task, status, payload
+
+
+class PoolTransport(Transport):
+    """Process-pool fan-out with streaming (``as_completed``) results."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+
+    def execute(self, pending: Sequence[PendingTask]) -> Iterator[Completion]:
+        if not pending:
+            return
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_one, task): (key, task)
+                for key, task in pending
+            }
+            try:
+                for future in as_completed(futures):
+                    key, task = futures[future]
+                    status, payload = future.result()
+                    yield key, task, status, payload
+            except BrokenProcessPool as exc:
+                # A worker died without reporting (OOM kill, segfault):
+                # surface it against one of the in-flight tasks.
+                key, task = next(iter(futures.values()))
+                yield key, task, "error", f"worker process died abruptly: {exc}"
+            finally:
+                for future in futures:
+                    future.cancel()
+
+
+def _execute_shard(tasks: List[tuple]) -> List[Tuple[str, object]]:
+    """Worker body of one shard: run its tasks in order, stop on error.
+
+    Results before the failure are still returned, so the parent can
+    commit them to the store before raising — the shard resumes from the
+    failing point, not from its beginning.
+    """
+    outcomes: List[Tuple[str, object]] = []
+    for task in tasks:
+        status, payload = execute_one(task)
+        outcomes.append((status, payload))
+        if status == "error":
+            break
+    return outcomes
+
+
+class ShardedTransport(Transport):
+    """Static sharding: shard ``shard_of(key, N)`` runs on worker ``i``.
+
+    The assignment depends only on the content-address key, so a
+    restarted campaign re-partitions identically and every worker can
+    decide *locally* which points are its own — the property a
+    distributed (file/socket-queue) deployment needs.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+
+    def shards(
+        self, pending: Sequence[PendingTask]
+    ) -> List[List[PendingTask]]:
+        """Partition pending work into the per-worker shards."""
+        shards: List[List[PendingTask]] = [[] for _ in range(self.workers)]
+        for key, task in pending:
+            shards[shard_of(key, self.workers)].append((key, task))
+        return shards
+
+    def execute(self, pending: Sequence[PendingTask]) -> Iterator[Completion]:
+        occupied = [shard for shard in self.shards(pending) if shard]
+        if not occupied:
+            return
+        if len(occupied) == 1 or self.workers == 1:
+            yield from SerialTransport().execute(
+                [item for shard in occupied for item in shard]
+            )
+            return
+        with ProcessPoolExecutor(max_workers=len(occupied)) as pool:
+            futures = {
+                pool.submit(_execute_shard, [task for _, task in shard]): shard
+                for shard in occupied
+            }
+            try:
+                for future in as_completed(futures):
+                    shard = futures[future]
+                    for (key, task), (status, payload) in zip(
+                        shard, future.result()
+                    ):
+                        yield key, task, status, payload
+            except BrokenProcessPool as exc:
+                key, task = next(iter(futures.values()))[0]
+                yield key, task, "error", f"worker process died abruptly: {exc}"
+            finally:
+                for future in futures:
+                    future.cancel()

@@ -210,6 +210,56 @@ class TestRunBench:
             assert results[f"scale_run_scalar_{scale}"] > 0
             assert results[f"scale_run_vectorized_{scale}"] > 0
 
+    def test_campaign_benchmark_names_match_committed_baseline(self, tmp_path):
+        import pathlib
+
+        from benchmarks.bench_campaign import campaign_benchmarks
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_campaign.json"
+        )
+        committed = set(load_baseline(baseline_path))
+        defined = {name for name, _ in campaign_benchmarks(str(tmp_path))}
+        assert defined == committed
+
+    def test_campaign_speedups_derived_from_timings(self):
+        from benchmarks.bench_campaign import campaign_speedups
+
+        meta = campaign_speedups({
+            "campaign_pickle_write_read_1000": 0.30,
+            "campaign_store_write_read_1000": 0.05,
+        })
+        assert meta["store_speedup"] == pytest.approx(6.0)
+        # The write counts are measured, not asserted to exact values —
+        # but the pickle side is arithmetic and the reduction follows.
+        assert meta["pickle_fs_writes"] == 2000
+        assert meta["fs_write_reduction"] == pytest.approx(
+            2000 / meta["store_fs_writes"]
+        )
+        partial = campaign_speedups({})
+        assert "store_speedup" not in partial
+        assert partial["fs_write_reduction"] > 1.0
+
+    def test_committed_campaign_baseline_records_the_targets(self):
+        """The acceptance bar: the committed 1000-point campaign runs at
+        least 5x faster and with at least 100x fewer filesystem writes
+        through the store than through per-pickle caching."""
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_campaign.json"
+        )
+        data = json.loads(baseline_path.read_text())
+        assert data["meta"]["store_speedup"] >= 5.0
+        assert data["meta"]["fs_write_reduction"] >= 100.0
+        results = data["results"]
+        assert results["campaign_pickle_write_read_1000"] > 0
+        assert results["campaign_store_write_read_1000"] > 0
+
     def test_pause_schedule_movers_stay_under_delta_threshold(self):
         """The pause-heavy scenario only measures the delta path if the
         steady-state mover fraction stays under the service threshold —

@@ -1,0 +1,198 @@
+"""Campaign resume semantics against the columnar result store.
+
+The contract: kill a campaign mid-flight and restart it against the same
+store, and (1) only the incomplete points re-run, (2) the merged results
+— and any aggregate/figure data built from them — are bit-identical to a
+single-shot campaign that never failed.  Sharded execution must likewise
+be invisible to the science.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import (
+    CampaignExecutor,
+    CampaignRunError,
+    ResultCache,
+    run_key,
+)
+from repro.experiments.figures.base import run_axis_sweep
+from repro.experiments.stats import aggregate
+from repro.experiments.store import ResultStore
+from repro.experiments.transport import ShardedTransport
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        n_peers=10,
+        sim_time=120.0,
+        warmup=0.0,
+        seed=11,
+        terrain_width=800.0,
+        terrain_height=800.0,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+GOOD_TASKS = [
+    (tiny_config(seed=seed), spec, "standard")
+    for seed in (11, 12)
+    for spec in ("push", "rpcc-sc")
+]
+
+
+def result_fingerprint(result):
+    return (
+        result.spec,
+        result.scenario,
+        result.config,
+        result.summary,
+        result.total_queries,
+        result.total_updates,
+        result.relay_samples,
+        result.traffic_series.times,
+        result.traffic_series.values,
+        result.energy_consumed,
+        result.mean_battery_fraction,
+        result.topology_stats,
+        result.fault_stats,
+        result.core,
+    )
+
+
+class TestResume:
+    def test_killed_campaign_resumes_from_completed_points(self, tmp_path):
+        single_shot = CampaignExecutor().run_many(GOOD_TASKS)
+
+        # Mid-flight failure: the third point is unrunnable, so the serial
+        # transport completes exactly two points before the campaign dies.
+        store = ResultStore(tmp_path / "store")
+        broken = GOOD_TASKS[:2] + [
+            (tiny_config(), "gossip", "standard")
+        ] + GOOD_TASKS[2:]
+        crashed = CampaignExecutor(store=store)
+        with pytest.raises(CampaignRunError) as excinfo:
+            crashed.run_many(broken)
+        assert excinfo.value.spec == "gossip"
+        assert crashed.runs_executed == 2
+        completed = {
+            run_key(config, spec, scenario)
+            for config, spec, scenario in GOOD_TASKS[:2]
+        }
+        assert ResultStore(tmp_path / "store").keys() == completed
+
+        # Restart against the same store with the corrected point list:
+        # only the two incomplete points simulate.
+        resumed_executor = CampaignExecutor(store=ResultStore(tmp_path / "store"))
+        resumed = resumed_executor.run_many(GOOD_TASKS)
+        assert resumed_executor.runs_executed == 2
+        assert resumed_executor.store_hits == 2
+
+        for reference, result in zip(single_shot, resumed):
+            assert result_fingerprint(result) == result_fingerprint(reference)
+
+        # Aggregates built from the merged store view are bit-identical
+        # to the single-shot campaign's.
+        assert aggregate(resumed) == aggregate(single_shot)
+
+    def test_full_resume_simulates_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        CampaignExecutor(store=store).run_many(GOOD_TASKS)
+        again = CampaignExecutor(store=ResultStore(tmp_path / "store"))
+        again.run_many(GOOD_TASKS)
+        assert again.runs_executed == 0
+        assert again.store_hits == len(GOOD_TASKS)
+
+    def test_resume_false_reruns_and_appends(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        CampaignExecutor(store=store).run_many(GOOD_TASKS[:2])
+        rerun = CampaignExecutor(
+            store=ResultStore(tmp_path / "store"), resume=False
+        )
+        rerun.run_many(GOOD_TASKS[:2])
+        assert rerun.runs_executed == 2
+        merged = ResultStore(tmp_path / "store")
+        # Append-only: both campaigns' rows exist, merge-on-read dedups.
+        assert merged.stats["records_appended"] == 0  # fresh handle
+        assert len(list(merged.records())) == 2
+        assert len(merged) == 2
+
+    def test_store_replaces_pickle_writes_but_reads_legacy_cache(self, tmp_path):
+        """With a store attached the pickle cache becomes read-only compat."""
+        cache = ResultCache(tmp_path / "cache")
+        CampaignExecutor(cache=cache).run_many(GOOD_TASKS[:2])
+        assert len(cache) == 2
+
+        store = ResultStore(tmp_path / "store")
+        migrating = CampaignExecutor(
+            cache=ResultCache(tmp_path / "cache"), store=store
+        )
+        migrating.run_many(GOOD_TASKS)
+        # Two points served from the legacy cache, two simulated; no new
+        # pickles were written — the store is the only write path now.
+        assert migrating.runs_executed == 2
+        assert migrating.cache.hits == 2
+        assert len(migrating.cache) == 2
+        assert len(ResultStore(tmp_path / "store")) == 2
+
+
+class TestShardedCampaign:
+    def test_sharded_matches_serial_bit_for_bit(self, tmp_path):
+        serial = CampaignExecutor().run_many(GOOD_TASKS)
+        sharded = CampaignExecutor(
+            transport=ShardedTransport(2), store=ResultStore(tmp_path / "st")
+        ).run_many(GOOD_TASKS)
+        for left, right in zip(serial, sharded):
+            assert result_fingerprint(left) == result_fingerprint(right)
+
+    def test_sharded_sweep_figure_data_identical(self, tmp_path):
+        config = tiny_config()
+        serial = run_axis_sweep(
+            config, "cache_num", (2, 4), ("push", "rpcc-sc"),
+            executor=CampaignExecutor(),
+        )
+        sharded_executor = CampaignExecutor(
+            transport=ShardedTransport(3), store=ResultStore(tmp_path / "st")
+        )
+        sharded = run_axis_sweep(
+            config, "cache_num", (2, 4), ("push", "rpcc-sc"),
+            executor=sharded_executor,
+        )
+        assert set(serial) == set(sharded)
+        for point in serial:
+            assert serial[point].summary == sharded[point].summary
+
+        # And a resumed rerun of the same sweep re-reads, not re-runs.
+        resumed_executor = CampaignExecutor(store=ResultStore(tmp_path / "st"))
+        resumed = run_axis_sweep(
+            config, "cache_num", (2, 4), ("push", "rpcc-sc"),
+            executor=resumed_executor,
+        )
+        assert resumed_executor.runs_executed == 0
+        for point in serial:
+            assert serial[point].summary == resumed[point].summary
+
+    def test_sharded_failure_commits_completed_shard_work(self, tmp_path):
+        """A failing point inside one shard still leaves that shard's
+        earlier completions (and the other shards') in the store."""
+        store = ResultStore(tmp_path / "store")
+        broken = GOOD_TASKS + [(tiny_config(), "gossip", "standard")]
+        executor = CampaignExecutor(
+            transport=ShardedTransport(2), store=store
+        )
+        with pytest.raises(CampaignRunError):
+            executor.run_many(broken)
+        survivors = ResultStore(tmp_path / "store").keys()
+        good_keys = {
+            run_key(config, spec, scenario)
+            for config, spec, scenario in GOOD_TASKS
+        }
+        assert survivors <= good_keys
+        # Resume finishes whatever was lost, bit-identically.
+        resumed = CampaignExecutor(store=ResultStore(tmp_path / "store"))
+        results = resumed.run_many(GOOD_TASKS)
+        assert resumed.runs_executed == len(GOOD_TASKS) - len(survivors)
+        reference = CampaignExecutor().run_many(GOOD_TASKS)
+        for left, right in zip(reference, results):
+            assert result_fingerprint(left) == result_fingerprint(right)

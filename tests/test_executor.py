@@ -143,6 +143,23 @@ class TestResultCache:
         assert again.runs_executed == 1
         assert result.summary.transmissions > 0
 
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignExecutor(cache=cache).run_one(tiny_config(), "push")
+        key = run_key(tiny_config(), "push", "standard")
+        cache.path_for(key).write_bytes(b"not a pickle")
+
+        reopened = ResultCache(tmp_path / "cache")
+        assert reopened.get(key) is None
+        # The bad bytes are preserved for post-mortem, off the hot path.
+        assert not cache.path_for(key).exists()
+        quarantined = reopened.quarantine_path_for(key)
+        assert quarantined.read_bytes() == b"not a pickle"
+        assert reopened.corrupt == 1
+        assert reopened.cache_stats == {
+            "hits": 0, "misses": 1, "corrupt_quarantined": 1,
+        }
+
     def test_purge_and_len(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         CampaignExecutor(cache=cache).run_many(
@@ -151,6 +168,15 @@ class TestResultCache:
         assert len(cache) == 2
         assert cache.purge() == 2
         assert len(cache) == 0
+
+    def test_purge_sweeps_quarantined_entries_too(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignExecutor(cache=cache).run_one(tiny_config(), "push")
+        key = run_key(tiny_config(), "push", "standard")
+        cache.path_for(key).write_bytes(b"junk")
+        cache.get(key)  # quarantines
+        assert cache.purge() == 1
+        assert list((tmp_path / "cache").iterdir()) == []
 
 
 class TestExecutorSemantics:
