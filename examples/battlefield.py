@@ -21,14 +21,21 @@ pull (radio-silence-hostile flood volume).
 Usage::
 
     python examples/battlefield.py
+
+Set ``REPRO_SMOKE=1`` for a seconds-long sanity run (used by the example
+smoke tests) instead of the full example scale.
 """
+
+import os
 
 from repro.experiments import SimulationConfig, run_simulation
 from repro.metrics.report import format_table
 
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def battlefield_config(seed: int = 7) -> SimulationConfig:
-    return SimulationConfig(
+    config = SimulationConfig(
         n_peers=40,
         terrain_width=1000.0,
         terrain_height=1000.0,
@@ -46,6 +53,9 @@ def battlefield_config(seed: int = 7) -> SimulationConfig:
         zipf_theta=0.9,              # the contact zone dominates queries
         seed=seed,
     )
+    if SMOKE:
+        config = config.with_overrides(n_peers=16, sim_time=90.0, warmup=60.0)
+    return config
 
 
 def main() -> None:

@@ -18,14 +18,21 @@ mix and then breaks the results down per consistency level.
 Usage::
 
     python examples/mobile_marketplace.py
+
+Set ``REPRO_SMOKE=1`` for a seconds-long sanity run (used by the example
+smoke tests) instead of the full example scale.
 """
+
+import os
 
 from repro.experiments import SimulationConfig, build_simulation
 from repro.metrics.report import format_table
 
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def marketplace_config(seed: int = 13) -> SimulationConfig:
-    return SimulationConfig(
+    config = SimulationConfig(
         n_peers=30,
         terrain_width=700.0,          # a market square
         terrain_height=700.0,
@@ -41,6 +48,9 @@ def marketplace_config(seed: int = 13) -> SimulationConfig:
         speed_max=2.0,                # walking pace
         seed=seed,
     )
+    if SMOKE:
+        config = config.with_overrides(n_peers=12, sim_time=120.0, warmup=60.0)
+    return config
 
 
 def main() -> None:

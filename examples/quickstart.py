@@ -9,14 +9,23 @@ latency, and the staleness audit this reproduction adds.
 Usage::
 
     python examples/quickstart.py
+
+Set ``REPRO_SMOKE=1`` for a seconds-long sanity run (used by the example
+smoke tests) instead of the full example scale.
 """
+
+import os
 
 from repro.experiments import STRATEGY_SPECS, SimulationConfig, run_simulation
 from repro.metrics.report import format_summary, format_table
 
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main() -> None:
     config = SimulationConfig(sim_time=900.0, warmup=600.0, seed=42)
+    if SMOKE:
+        config = config.with_overrides(n_peers=16, sim_time=60.0, warmup=30.0)
 
     print("=== one detailed RPCC(SC) run ===")
     result = run_simulation(config, "rpcc-sc")

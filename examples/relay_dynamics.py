@@ -16,14 +16,23 @@ This transient is exactly why measured windows start after a warm-up
 Usage::
 
     python examples/relay_dynamics.py
+
+Set ``REPRO_SMOKE=1`` for a seconds-long sanity run (used by the example
+smoke tests) instead of the full example scale.
 """
+
+import os
 
 from repro.experiments import SimulationConfig, build_simulation
 from repro.viz.ascii import ascii_chart
 
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main() -> None:
     config = SimulationConfig(sim_time=1800.0, warmup=0.0, seed=8)
+    if SMOKE:
+        config = config.with_overrides(n_peers=16, sim_time=420.0)
     simulation = build_simulation(config, "rpcc-sc")
     result = simulation.run()
 

@@ -14,14 +14,21 @@ prints the trade-off table an operator would use.
 Usage::
 
     python examples/ttl_tuning.py
+
+Set ``REPRO_SMOKE=1`` for a seconds-long sanity run (used by the example
+smoke tests) instead of the full example scale.
 """
+
+import os
 
 from repro.experiments import SimulationConfig, run_simulation
 from repro.metrics.report import format_table
 
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def gateway_config(seed: int = 3) -> SimulationConfig:
-    return SimulationConfig(
+    config = SimulationConfig(
         n_peers=40,
         sim_time=900.0,
         warmup=600.0,
@@ -29,6 +36,9 @@ def gateway_config(seed: int = 3) -> SimulationConfig:
         query_interval=20.0,
         seed=seed,
     )
+    if SMOKE:
+        config = config.with_overrides(n_peers=16, sim_time=90.0, warmup=60.0)
+    return config
 
 
 def main() -> None:

@@ -9,14 +9,14 @@ cache contents; the consistency protocols keep them fresh afterwards.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.cache.catalog import Catalog
 from repro.cache.item import CachedCopy
 from repro.cache.store import CacheStore
 from repro.errors import ConfigurationError
 
-__all__ = ["random_placement", "single_item_placement"]
+__all__ = ["hot_set_placement", "random_placement", "single_item_placement"]
 
 
 def random_placement(
@@ -67,3 +67,32 @@ def single_item_placement(
         store.put(CachedCopy(item_id, master.version, master.content_size, now))
         holders.append(host_id)
     return holders
+
+
+def hot_set_placement(
+    catalog: Catalog,
+    stores: Dict[int, CacheStore],
+    item_ids: Sequence[int],
+    now: float = 0.0,
+) -> Dict[int, List[int]]:
+    """Multi-source generalisation of the Fig 9 setup.
+
+    Every item of the hot set is cached by every peer except its own
+    source, so several update-origins compete for the same cache slots
+    from the first tick.  Returns the placed item ids per host (sorted),
+    for symmetry with :func:`random_placement`.
+    """
+    if not item_ids:
+        raise ConfigurationError("hot_set_placement needs at least one item")
+    hot = sorted(set(item_ids))
+    assignment: Dict[int, List[int]] = {}
+    for host_id, store in sorted(stores.items()):
+        placed: List[int] = []
+        for item_id in hot:
+            master = catalog.master(item_id)
+            if master.source_id == host_id:
+                continue
+            store.put(CachedCopy(item_id, master.version, master.content_size, now))
+            placed.append(item_id)
+        assignment[host_id] = placed
+    return assignment

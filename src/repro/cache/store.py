@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.cache.item import CachedCopy
-from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.cache.replacement import CachePolicy, LRUPolicy, ReplacementPolicy
 from repro.errors import CacheCapacityError
 
 __all__ = ["CacheStore"]
@@ -24,7 +24,12 @@ class CacheStore:
     capacity:
         Maximum number of cached items (``C_Num``).
     policy:
-        Replacement policy; LRU by default.
+        Replacement policy; LRU by default.  The store drives the
+        policy's :class:`~repro.cache.replacement.CachePolicy` lifecycle
+        hooks on every insert, hit and removal, so stateful policies
+        (LRU-K and friends) stay consistent with the store's contents —
+        which also means a policy instance must not be shared between
+        stores.
     on_insert / on_evict:
         Optional callbacks ``(item_id) -> None`` fired on membership change
         (used to maintain the global cache directory).
@@ -79,6 +84,7 @@ class CacheStore:
             return None
         self.hits += 1
         copy.touch(now)
+        self.policy.on_access(copy, now)
         return copy
 
     @property
@@ -106,6 +112,7 @@ class CacheStore:
             evicted = victim_id
         is_new = copy.item_id not in self._copies
         self._copies[copy.item_id] = copy
+        self.policy.on_insert(copy)
         if is_new and self._on_insert is not None:
             self._on_insert(copy.item_id)
         return evicted
@@ -124,5 +131,6 @@ class CacheStore:
 
     def _remove(self, item_id: int) -> None:
         del self._copies[item_id]
+        self.policy.on_remove(item_id)
         if self._on_evict is not None:
             self._on_evict(item_id)

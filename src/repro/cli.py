@@ -7,6 +7,8 @@ Usage::
     python -m repro --sim-time 600 --jobs 4 fig7a --plot --csv fig7a.csv
     python -m repro --sim-time 600 fig9 --ttls 1 3 7
     python -m repro --sim-time 600 --no-cache compare
+    python -m repro matrix examples/matrix/smoke.toml --workers 2 --store
+    python -m repro list
 
 Every command accepts ``--sim-time``/``--warmup``/``--seed`` so the
 paper-scale five-hour runs and quick smoke runs use the same entry point.
@@ -56,7 +58,7 @@ from repro.experiments.figures import (
     run_fig9,
 )
 from repro.experiments.figures.base import run_axis_sweep
-from repro.experiments.runner import STRATEGY_SPECS
+from repro.experiments.runner import PLACEMENT_SCENARIOS, STRATEGY_SPECS
 from repro.metrics.report import format_summary, format_table
 
 __all__ = ["main", "build_parser"]
@@ -112,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one simulation")
     run_parser.add_argument("spec", choices=STRATEGY_SPECS)
     run_parser.add_argument("--scenario", default="standard",
-                            choices=("standard", "single_source"))
+                            choices=PLACEMENT_SCENARIOS)
     run_parser.add_argument("--trace", metavar="PATH",
                             help="also record a JSONL event trace to PATH "
                             "(bypasses the result cache)")
@@ -127,7 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("spec", choices=STRATEGY_SPECS)
     trace_parser.add_argument("--scenario", default="standard",
-                              choices=("standard", "single_source"))
+                              choices=PLACEMENT_SCENARIOS)
     trace_parser.add_argument("--out", default="trace.jsonl",
                               help="JSONL trace output path")
     trace_parser.add_argument("--no-check", action="store_true",
@@ -170,6 +172,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     all_parser.add_argument("--out", default="results",
                             help="output directory for the CSV files")
+
+    matrix_parser = sub.add_parser(
+        "matrix",
+        help="run a declarative experiment matrix "
+        "(scenario x strategy x policy x seeds; see docs/SCENARIOS.md)",
+    )
+    matrix_parser.add_argument("file", metavar="FILE",
+                               help="matrix file (.toml or .json)")
+    matrix_parser.add_argument("--csv", metavar="PATH",
+                               help="also write the aggregate table to a CSV "
+                               "file (repr floats; byte-stable across "
+                               "serial/sharded/resumed runs)")
+    # Campaign-execution flags are global options, but a matrix run is
+    # where they matter most — accept them after the subcommand too.
+    # SUPPRESS keeps a subparser default from clobbering a value the
+    # global parser already set.
+    matrix_parser.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                               help=argparse.SUPPRESS)
+    matrix_parser.add_argument("--workers", type=int,
+                               default=argparse.SUPPRESS,
+                               help=argparse.SUPPRESS)
+    matrix_parser.add_argument("--store", nargs="?", const=DEFAULT_STORE_DIR,
+                               metavar="DIR", default=argparse.SUPPRESS,
+                               help=argparse.SUPPRESS)
+    matrix_parser.add_argument("--resume", action="store_true",
+                               default=argparse.SUPPRESS,
+                               help=argparse.SUPPRESS)
+    matrix_parser.add_argument("--no-cache", action="store_true",
+                               default=argparse.SUPPRESS,
+                               help=argparse.SUPPRESS)
+
+    sub.add_parser(
+        "list",
+        help="list registered scenarios, replacement policies and "
+        "strategy specs",
+    )
     return parser
 
 
@@ -422,11 +460,58 @@ def _command_all(args: argparse.Namespace, executor: CampaignExecutor) -> None:
         print()
 
 
+def _command_matrix(args: argparse.Namespace, executor: CampaignExecutor) -> None:
+    from repro.scenarios.matrix import (
+        AGGREGATE_COLUMNS,
+        aggregate_matrix,
+        expand_matrix,
+        load_matrix,
+        matrix_csv,
+    )
+
+    matrix = load_matrix(args.file)
+    points = expand_matrix(matrix, base_config=_config(args))
+    print(f"matrix {args.file}: {matrix.cells} cells, "
+          f"{len(points)} unique points")
+    results = executor.run_many([point.task for point in points])
+    rows = aggregate_matrix(points, results)
+    display = [
+        tuple(
+            round(value, 3) if isinstance(value, float) else value
+            for value in row
+        )
+        for row in rows
+    ]
+    print(format_table(AGGREGATE_COLUMNS, display, title="matrix aggregate"))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as handle:
+            handle.write(matrix_csv(rows))
+        print(f"wrote {args.csv}")
+
+
+def _command_list() -> None:
+    from repro.scenarios.registry import POLICIES, SCENARIOS
+
+    print("scenarios:")
+    for name in SCENARIOS.names():
+        spec = SCENARIOS.get(name)
+        print(f"  {name:<18} {spec.description}")
+    print("replacement policies:")
+    for name in POLICIES.names():
+        print(f"  {name}")
+    print("strategy specs:")
+    for spec in STRATEGY_SPECS:
+        print(f"  {spec}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "table1":
         _command_table1(args)
+        return 0
+    if args.command == "list":
+        _command_list()
         return 0
     if args.command == "trace":
         return _command_trace(args)
@@ -437,6 +522,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _command_compare(args, executor)
     elif args.command == "fig9":
         _command_fig9(args, executor)
+    elif args.command == "matrix":
+        _command_matrix(args, executor)
     elif args.command == "all":
         _command_all(args, executor)
     else:

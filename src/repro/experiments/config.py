@@ -93,7 +93,19 @@ class SimulationConfig:
     loss_rate: float = 0.0
     # Optional Zipf skew for the item-access pattern; None = uniform.
     zipf_theta: float = 0.0
-    # Mobility model for the non-stable peers: "waypoint" or "walk".
+    # Item-access pattern: "uniform", "zipf" (needs zipf_theta > 0), or
+    # "flash-crowd" (Zipf whose ranking reshuffles at flash_crowd_at).
+    # The legacy shorthand zipf_theta > 0 with access_pattern="uniform"
+    # still selects Zipf, keeping pre-catalog configs bit-identical.
+    access_pattern: str = "uniform"
+    # Sim-clock instant of the flash-crowd popularity shift.
+    flash_crowd_at: float = 0.0
+    # Number of hot items in the "hot_set" placement scenario.
+    hot_set_size: int = 4
+    # Replacement policy name (see repro.cache.replacement POLICIES).
+    replacement_policy: str = "lru"
+    # Mobility model for the non-stable peers: "waypoint", "walk", or
+    # "trace" (a recorded waypoint trace replayed as piecewise-linear).
     mobility: str = "waypoint"
     # Unicast routing policy: "bfs" (per-send shortest path) or "cached"
     # (DSR-style route cache, see repro.net.routing).
@@ -147,9 +159,46 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"loss_rate must be in [0, 1), got {self.loss_rate!r}"
             )
-        if self.mobility not in ("waypoint", "walk"):
+        if self.mobility not in ("waypoint", "walk", "trace"):
             raise ConfigurationError(
-                f"mobility must be 'waypoint' or 'walk', got {self.mobility!r}"
+                f"mobility must be 'waypoint', 'walk' or 'trace', "
+                f"got {self.mobility!r}"
+            )
+        if self.access_pattern not in ("uniform", "zipf", "flash-crowd"):
+            raise ConfigurationError(
+                f"access_pattern must be 'uniform', 'zipf' or 'flash-crowd', "
+                f"got {self.access_pattern!r}"
+            )
+        if self.access_pattern == "zipf" and self.zipf_theta <= 0:
+            raise ConfigurationError(
+                "access_pattern 'zipf' needs zipf_theta > 0"
+            )
+        if self.access_pattern == "flash-crowd":
+            if self.zipf_theta <= 0:
+                raise ConfigurationError(
+                    "access_pattern 'flash-crowd' needs zipf_theta > 0"
+                )
+            if self.flash_crowd_at <= 0:
+                raise ConfigurationError(
+                    "access_pattern 'flash-crowd' needs flash_crowd_at > 0"
+                )
+        if self.flash_crowd_at < 0:
+            raise ConfigurationError(
+                f"flash_crowd_at must be >= 0, got {self.flash_crowd_at!r}"
+            )
+        if self.hot_set_size < 1:
+            raise ConfigurationError(
+                f"hot_set_size must be >= 1, got {self.hot_set_size!r}"
+            )
+        # Validate the policy name eagerly so a typo fails at config time,
+        # not mid-campaign.  Lazy import: the cache layer pulls in the
+        # scenarios registry, which must not re-enter this module.
+        from repro.cache.replacement import POLICIES
+
+        if self.replacement_policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown replacement_policy {self.replacement_policy!r}; "
+                f"choose from {POLICIES.names()}"
             )
         if self.routing not in ("bfs", "cached"):
             raise ConfigurationError(

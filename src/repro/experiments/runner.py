@@ -7,9 +7,17 @@ A *strategy spec* names what Fig 7/8 plot on their legends:
   consistency-level workload;
 * ``"rpcc-hy"`` — RPCC under the hybrid workload (equal thirds).
 
-Two scenarios exist: ``"standard"`` (Table 1, random placement) and
-``"single_source"`` (Fig 9: one randomly chosen source whose item is
-cached by every other peer).
+Three placement scenarios exist: ``"standard"`` (Table 1, random
+placement), ``"single_source"`` (Fig 9: one randomly chosen source whose
+item is cached by every other peer) and ``"hot_set"`` (a multi-source
+generalisation: ``hot_set_size`` items each cached by every other peer,
+queries restricted to the hot set).
+
+The strategy family is discoverable through the
+:data:`~repro.scenarios.registry.STRATEGIES` registry; each factory maps
+``(context, config) -> ConsistencyStrategy`` and is keyed by the family
+name (``push``/``pull``/``rpcc``), while the spec strings above add the
+workload-mix suffix.
 """
 
 from __future__ import annotations
@@ -21,7 +29,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.cache.catalog import Catalog
 from repro.cache.directory import CacheDirectory
 from repro.cache.discovery import Discovery
-from repro.cache.placement import random_placement, single_item_placement
+from repro.cache.placement import (
+    hot_set_placement,
+    random_placement,
+    single_item_placement,
+)
+from repro.cache.replacement import make_policy
 from repro.consistency.base import (
     ConsistencyStrategy,
     RetryBackoff,
@@ -40,6 +53,7 @@ from repro.metrics.timeseries import TimeSeries
 from repro.mobility.stationary import Stationary
 from repro.mobility.subnets import SubnetGrid, SubnetTracker
 from repro.mobility.terrain import Terrain
+from repro.mobility.trace import record_trace
 from repro.mobility.walk import RandomWalk
 from repro.mobility.waypoint import RandomWaypoint
 from repro.net.link import LinkModel
@@ -48,14 +62,21 @@ from repro.net.routing import CachingRouter, ShortestPathRouter
 from repro.peers.coefficients import CoefficientTracker
 from repro.peers.host import MobileHost
 from repro.peers.switching import SwitchingProcess
+from repro.scenarios.registry import STRATEGIES, register_strategy
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.timers import PeriodicTimer
-from repro.workload.access import AccessPattern, UniformAccess, ZipfAccess
+from repro.workload.access import (
+    AccessPattern,
+    FlashCrowdAccess,
+    UniformAccess,
+    ZipfAccess,
+)
 from repro.workload.drivers import QueryWorkload, UpdateWorkload
 from repro.workload.mix import LevelMix
 
 __all__ = [
+    "PLACEMENT_SCENARIOS",
     "STRATEGY_SPECS",
     "Simulation",
     "SimulationResult",
@@ -65,6 +86,12 @@ __all__ = [
 
 #: Every legend entry of Fig 7/8.
 STRATEGY_SPECS = ("pull", "push", "rpcc-sc", "rpcc-dc", "rpcc-wc", "rpcc-hy")
+
+#: Placement scenarios build_simulation understands.
+PLACEMENT_SCENARIOS = ("standard", "single_source", "hot_set")
+
+#: Sampling interval of the recorded trace replayed by mobility="trace".
+TRACE_SAMPLE_INTERVAL = 10.0
 
 
 def _parse_spec(spec: str) -> Tuple[str, LevelMix]:
@@ -241,15 +268,18 @@ def build_simulation(
     spec:
         One of :data:`STRATEGY_SPECS`.
     scenario:
-        ``"standard"`` or ``"single_source"`` (Fig 9).
+        One of :data:`PLACEMENT_SCENARIOS`: ``"standard"``,
+        ``"single_source"`` (Fig 9) or ``"hot_set"``.
     trace:
         Optional :class:`repro.obs.TraceBus`; when given, every
         instrumented subsystem emits trace events into it.  Omitted (the
         default) the simulator keeps its no-op bus and tracing costs one
         branch per emit site.
     """
-    if scenario not in ("standard", "single_source"):
-        raise ConfigurationError(f"unknown scenario {scenario!r}")
+    if scenario not in PLACEMENT_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; choose from {PLACEMENT_SCENARIOS}"
+        )
     strategy_name, mix = _parse_spec(spec)
     # An empty plan is the same as no plan: no fault RNG streams, no
     # scheduled fault events, no degradation meter — bit-identical runs.
@@ -310,6 +340,17 @@ def build_simulation(
                 speed_max=config.speed_max,
                 pause_time=config.pause_time,
             )
+            if config.mobility == "trace":
+                # Trace replay: sample the waypoint trajectory up front and
+                # replay it as piecewise-linear motion — every strategy run
+                # over this config sees the *identical* movement, which is
+                # the trace-replay scenario's whole point.
+                recorded = record_trace(
+                    mobility,
+                    duration=config.warmup + config.sim_time + TRACE_SAMPLE_INTERVAL,
+                    interval=TRACE_SAMPLE_INTERVAL,
+                )
+                mobility = recorded.as_model()
         initial = 100.0 if stable else battery_rng.uniform(40.0, 100.0)
         host = MobileHost(
             host_id,
@@ -322,6 +363,12 @@ def build_simulation(
                 phi=config.switch_interval, omega=config.omega
             ),
             subnet_tracker=SubnetTracker(grid, mobility),
+            # One fresh policy instance per host: stateful policies keep
+            # per-store history.  ttl/clock are wiring the TTL-aware
+            # policy accepts; stateless ones ignore them.
+            replacement_policy=make_policy(
+                config.replacement_policy, ttl=config.ttp, clock=lambda: sim.now
+            ),
         )
         host.attach_source(catalog.master(host_id))
         if not stable:
@@ -372,6 +419,14 @@ def build_simulation(
         single_item_placement(catalog, stores, single_item)
         update_hosts = [hosts[catalog.source_of(single_item)]]
         restrict = [single_item]
+    elif scenario == "hot_set":
+        k = min(config.hot_set_size, len(catalog.item_ids))
+        hot_items = sorted(
+            streams.stream("hot-set").sample(sorted(catalog.item_ids), k)
+        )
+        hot_set_placement(catalog, stores, hot_items)
+        update_hosts = [hosts[catalog.source_of(item)] for item in hot_items]
+        restrict = hot_items
     else:
         random_placement(
             catalog, stores, config.cache_num, streams.stream("placement")
@@ -388,8 +443,18 @@ def build_simulation(
     update_workload = UpdateWorkload(
         update_hosts, streams, mean_interval=config.update_interval
     )
-    if config.zipf_theta > 0:
-        access: AccessPattern = ZipfAccess(
+    if config.access_pattern == "flash-crowd":
+        access: AccessPattern = FlashCrowdAccess(
+            catalog.item_ids,
+            theta=config.zipf_theta,
+            seed=config.seed,
+            shift_at=config.flash_crowd_at,
+            clock=lambda: sim.now,
+        )
+    elif config.access_pattern == "zipf" or config.zipf_theta > 0:
+        # zipf_theta > 0 alone is the pre-catalog shorthand for Zipf;
+        # honouring it keeps older configs (and goldens) bit-identical.
+        access = ZipfAccess(
             catalog.item_ids, theta=config.zipf_theta, seed=config.seed
         )
     else:
@@ -434,33 +499,42 @@ def build_simulation(
     )
 
 
+@register_strategy("push")
+def _build_push(context: StrategyContext, config: SimulationConfig) -> ConsistencyStrategy:
+    return PushStrategy(context, ttn=config.ttn, ttl=config.ttl_broadcast)
+
+
+@register_strategy("pull")
+def _build_pull(context: StrategyContext, config: SimulationConfig) -> ConsistencyStrategy:
+    return PullStrategy(
+        context, ttl=config.ttl_broadcast, poll_timeout=config.poll_timeout
+    )
+
+
+@register_strategy("rpcc")
+def _build_rpcc(context: StrategyContext, config: SimulationConfig) -> ConsistencyStrategy:
+    # Protocol hardening rides along with fault injection: fault-free
+    # runs keep the paper-faithful defaults (and their golden digests).
+    hardened = config.faults is not None and not config.faults.is_empty
+    rpcc_config = RPCCConfig(
+        ttl_invalidation=config.ttl_rpcc,
+        ttn=config.ttn,
+        ttr=config.ttr,
+        ttp=config.ttp,
+        poll_timeout=config.poll_timeout,
+        broadcast_ttl=config.ttl_broadcast,
+        thresholds=config.thresholds,
+        update_repush_attempts=2 if hardened else 0,
+        resync_on_reconnect=hardened,
+        fast_relay_failover=hardened,
+    )
+    return RPCCStrategy(context, rpcc_config)
+
+
 def _make_strategy(
     name: str, context: StrategyContext, config: SimulationConfig
 ) -> ConsistencyStrategy:
-    if name == "push":
-        return PushStrategy(context, ttn=config.ttn, ttl=config.ttl_broadcast)
-    if name == "pull":
-        return PullStrategy(
-            context, ttl=config.ttl_broadcast, poll_timeout=config.poll_timeout
-        )
-    if name == "rpcc":
-        # Protocol hardening rides along with fault injection: fault-free
-        # runs keep the paper-faithful defaults (and their golden digests).
-        hardened = config.faults is not None and not config.faults.is_empty
-        rpcc_config = RPCCConfig(
-            ttl_invalidation=config.ttl_rpcc,
-            ttn=config.ttn,
-            ttr=config.ttr,
-            ttp=config.ttp,
-            poll_timeout=config.poll_timeout,
-            broadcast_ttl=config.ttl_broadcast,
-            thresholds=config.thresholds,
-            update_repush_attempts=2 if hardened else 0,
-            resync_on_reconnect=hardened,
-            fast_relay_failover=hardened,
-        )
-        return RPCCStrategy(context, rpcc_config)
-    raise ConfigurationError(f"unknown strategy name {name!r}")
+    return STRATEGIES.get(name)(context, config)
 
 
 def run_simulation(

@@ -21,6 +21,7 @@ from typing import Any, Optional
 
 from repro.cache.directory import CacheDirectory
 from repro.cache.item import MasterCopy
+from repro.cache.replacement import CachePolicy
 from repro.cache.store import CacheStore
 from repro.energy.battery import Battery
 from repro.errors import ConfigurationError
@@ -58,6 +59,10 @@ class MobileHost(NetworkNode):
         PAR/PSR/PMR accumulator; a default tracker when omitted.
     subnet_tracker:
         Supplies subnet-crossing counts (``N_m``) per coefficient period.
+    replacement_policy:
+        Victim-selection policy of this host's cache store (LRU when
+        omitted).  Must be a fresh instance per host — stateful policies
+        track per-store history.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class MobileHost(NetworkNode):
         directory: Optional[CacheDirectory] = None,
         coefficient_tracker: Optional[CoefficientTracker] = None,
         subnet_tracker: Optional[SubnetTracker] = None,
+        replacement_policy: Optional[CachePolicy] = None,
     ) -> None:
         self._host_id = int(host_id)
         self.sim = sim
@@ -78,7 +84,12 @@ class MobileHost(NetworkNode):
         on_insert = on_evict = None
         if directory is not None:
             on_insert, on_evict = directory.bind_store(self._host_id)
-        self.store = CacheStore(cache_capacity, on_insert=on_insert, on_evict=on_evict)
+        self.store = CacheStore(
+            cache_capacity,
+            policy=replacement_policy,
+            on_insert=on_insert,
+            on_evict=on_evict,
+        )
         self.tracker = (
             coefficient_tracker if coefficient_tracker is not None else CoefficientTracker()
         )

@@ -1,0 +1,54 @@
+"""Declarative scenarios: registries, presets, and experiment matrices.
+
+The public surface of the subsystem docs/SCENARIOS.md describes:
+
+* :mod:`repro.scenarios.registry` — name-keyed registries for
+  consistency strategies, cache replacement policies and scenario
+  presets, with decorator registration and loud unknown/duplicate
+  errors;
+* :mod:`repro.scenarios.spec` — the serializable
+  :class:`ScenarioSpec` that expands to a ``SimulationConfig`` plus a
+  placement scenario and optional fault plan;
+* :mod:`repro.scenarios.catalog` — the built-in presets (urban grid,
+  highway strip, trace replay, campus partition, flash crowd,
+  multi-source hot set);
+* :mod:`repro.scenarios.matrix` — TOML/JSON experiment matrices
+  expanded into campaign tasks (``repro matrix FILE``).
+"""
+
+from repro.scenarios.registry import (
+    POLICIES,
+    Registry,
+    SCENARIOS,
+    STRATEGIES,
+    register_policy,
+    register_scenario,
+    register_strategy,
+)
+from repro.scenarios.spec import BASE_SCENARIOS, ScenarioSpec
+from repro.scenarios.matrix import (
+    MatrixPoint,
+    MatrixSpec,
+    aggregate_matrix,
+    expand_matrix,
+    load_matrix,
+    matrix_csv,
+)
+
+__all__ = [
+    "BASE_SCENARIOS",
+    "MatrixPoint",
+    "MatrixSpec",
+    "POLICIES",
+    "Registry",
+    "SCENARIOS",
+    "STRATEGIES",
+    "ScenarioSpec",
+    "aggregate_matrix",
+    "expand_matrix",
+    "load_matrix",
+    "matrix_csv",
+    "register_policy",
+    "register_scenario",
+    "register_strategy",
+]

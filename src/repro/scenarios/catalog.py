@@ -1,0 +1,130 @@
+"""The scenario catalog: named presets composed from existing substrates.
+
+Each preset is a :class:`~repro.scenarios.spec.ScenarioSpec` built from
+the mobility, workload, placement and fault pieces the repo already has
+— no preset introduces behaviour of its own, it only names a
+combination.  Durations (``sim_time``/``warmup``) and seeds deliberately
+stay *out* of the presets: they come from the base config (CLI flags or
+a matrix file's ``[base]`` table), so the same scenario runs at smoke
+scale and at paper scale unchanged.
+
+Timeline convention: presets with scripted faults place them inside the
+first three simulated minutes so that the golden conformance runs
+(60 s warm-up + 120 s measured) and longer studies both exercise them.
+
+The catalog is the loader of
+:data:`~repro.scenarios.registry.SCENARIOS`; look presets up by name via
+``SCENARIOS.get("urban-grid")`` or list them with ``repro list``.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan, Partition
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "URBAN_GRID",
+    "HIGHWAY_STRIP",
+    "TRACE_REPLAY",
+    "CAMPUS_PARTITION",
+    "FLASH_CROWD",
+    "MULTI_SOURCE",
+]
+
+
+URBAN_GRID = register_scenario(ScenarioSpec(
+    name="urban-grid",
+    description="Dense city blocks: pedestrian random walk over small "
+                "subnet cells, few stable kiosks",
+    overrides=dict(
+        n_peers=24,
+        terrain_width=800.0,
+        terrain_height=800.0,
+        radio_range=250.0,
+        subnet_cell=200.0,
+        mobility="walk",
+        speed_min=0.5,
+        speed_max=2.0,
+        stable_fraction=0.3,
+    ),
+))
+
+HIGHWAY_STRIP = register_scenario(ScenarioSpec(
+    name="highway-strip",
+    description="3 km highway strip: fast waypoint traffic with short "
+                "stops, roadside units as stable peers",
+    overrides=dict(
+        n_peers=24,
+        terrain_width=3000.0,
+        terrain_height=240.0,
+        radio_range=350.0,
+        subnet_cell=600.0,
+        mobility="waypoint",
+        speed_min=15.0,
+        speed_max=30.0,
+        pause_time=5.0,
+        stable_fraction=0.25,
+    ),
+))
+
+TRACE_REPLAY = register_scenario(ScenarioSpec(
+    name="trace-replay",
+    description="Recorded waypoint trajectories replayed as "
+                "piecewise-linear traces: identical movement across "
+                "every strategy/policy cell",
+    overrides=dict(
+        n_peers=20,
+        mobility="trace",
+        stable_fraction=0.4,
+    ),
+))
+
+CAMPUS_PARTITION = register_scenario(ScenarioSpec(
+    name="campus-partition",
+    description="Subnet-partitioned campus: two scripted spatial "
+                "partitions split the terrain during the run",
+    overrides=dict(
+        n_peers=24,
+        subnet_cell=250.0,
+        stable_fraction=0.5,
+    ),
+    faults=FaultPlan(
+        name="campus-partition",
+        description="Quad closes east-west, then a lecture change "
+                    "splits north-south",
+        faults=(
+            Partition(start=70.0, duration=30.0, mode="spatial",
+                      axis="x", frac=0.5, name="quad-closes"),
+            Partition(start=130.0, duration=30.0, mode="spatial",
+                      axis="y", frac=0.5, name="lecture-change"),
+        ),
+    ),
+))
+
+FLASH_CROWD = register_scenario(ScenarioSpec(
+    name="flash-crowd",
+    description="Zipf-skewed popularity whose ranking reshuffles "
+                "mid-run (t=120 s): a flash crowd moves to new items",
+    overrides=dict(
+        n_peers=24,
+        access_pattern="flash-crowd",
+        zipf_theta=0.9,
+        flash_crowd_at=120.0,
+        stable_fraction=0.4,
+    ),
+))
+
+MULTI_SOURCE = register_scenario(ScenarioSpec(
+    name="multi-source",
+    description="Multi-source multi-item hot set: four items from four "
+                "different sources pre-placed at every peer, queries "
+                "restricted to the hot set",
+    base="hot_set",
+    overrides=dict(
+        n_peers=24,
+        hot_set_size=4,
+        cache_num=8,
+        stable_fraction=0.4,
+    ),
+))

@@ -12,11 +12,11 @@ import abc
 import bisect
 import itertools
 import random
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import WorkloadError
 
-__all__ = ["AccessPattern", "UniformAccess", "ZipfAccess"]
+__all__ = ["AccessPattern", "UniformAccess", "ZipfAccess", "FlashCrowdAccess"]
 
 
 class AccessPattern(abc.ABC):
@@ -77,3 +77,44 @@ class ZipfAccess(AccessPattern):
             if item != requester:
                 return item
         return self._items[0]
+
+
+class FlashCrowdAccess(AccessPattern):
+    """Zipf popularity whose ranking reshuffles at ``shift_at``.
+
+    Before the shift instant queries follow one Zipf ranking; at and
+    after it they follow an independently shuffled ranking with the same
+    skew — the flash crowd abandons yesterday's hot items for new ones,
+    invalidating every popularity-driven cache placement at a stroke.
+
+    ``clock`` supplies the current simulated time (the runner wires
+    ``lambda: sim.now``); without a clock the pattern stays permanently
+    in its pre-shift phase.  Both phases draw from the caller's RNG the
+    same way, so the event stream stays deterministic per seed.
+    """
+
+    def __init__(
+        self,
+        item_ids: Sequence[int],
+        theta: float = 0.8,
+        seed: int = 0,
+        shift_at: float = 0.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if shift_at < 0:
+            raise WorkloadError(f"shift_at must be >= 0, got {shift_at!r}")
+        # A different shuffler seed yields an independent ranking; the
+        # xor constant just decorrelates it from ``seed + 1`` style uses.
+        self._before = ZipfAccess(item_ids, theta=theta, seed=seed)
+        self._after = ZipfAccess(item_ids, theta=theta, seed=seed ^ 0x5BD1E995)
+        self.shift_at = float(shift_at)
+        self.clock = clock
+
+    @property
+    def shifted(self) -> bool:
+        """Whether the post-shift ranking is currently in effect."""
+        return self.clock is not None and self.clock() >= self.shift_at
+
+    def choose(self, rng: random.Random, requester: int) -> int:
+        phase = self._after if self.shifted else self._before
+        return phase.choose(rng, requester)

@@ -154,3 +154,53 @@ class TestRobustnessDoc:
                     "stale_serve_rate_in_partition", "mean_time_to_reconverge",
                     "heals_observed"):
             assert f"`{key}`" in text, f"ROBUSTNESS.md misses stat {key}"
+
+
+class TestScenariosDoc:
+    def test_exists_and_is_cross_linked(self):
+        text = read("docs/SCENARIOS.md")
+        assert "registry" in text.lower()
+        assert "SCENARIOS.md" in read("README.md")
+        assert "SCENARIOS.md" in read("EXPERIMENTS.md")
+        assert "SCENARIOS.md" in read("DESIGN.md")
+
+    def test_every_registered_scenario_documented(self):
+        from repro.scenarios.registry import SCENARIOS
+
+        text = read("docs/SCENARIOS.md")
+        for name in SCENARIOS.names():
+            assert f"`{name}`" in text, f"SCENARIOS.md misses scenario {name}"
+
+    def test_every_registered_policy_documented(self):
+        from repro.scenarios.registry import POLICIES
+
+        text = read("docs/SCENARIOS.md")
+        for name in POLICIES.names():
+            assert f"`{name}`" in text, f"SCENARIOS.md misses policy {name}"
+
+    def test_cli_examples_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = read("docs/SCENARIOS.md")
+        lines = re.findall(r"python -m repro ([^\n`]+)", text)
+        assert lines
+        for line in lines:
+            argv = line.split("#", 1)[0].strip().split()
+            parser.parse_args(argv)
+
+    def test_referenced_matrix_files_load(self):
+        from repro.scenarios.matrix import load_matrix
+
+        text = read("docs/SCENARIOS.md")
+        paths = set(re.findall(r"(examples/matrix/[\w.]+\.toml)", text))
+        assert paths, "SCENARIOS.md references no matrix files"
+        for path in paths:
+            load_matrix(ROOT / path)
+
+    def test_placement_scenarios_match_code(self):
+        from repro.experiments.runner import PLACEMENT_SCENARIOS
+
+        text = read("docs/SCENARIOS.md")
+        for scenario in PLACEMENT_SCENARIOS:
+            assert scenario in text, f"SCENARIOS.md misses placement {scenario}"

@@ -1,0 +1,147 @@
+"""Golden conformance matrix for the scenario catalog.
+
+Every preset of :mod:`repro.scenarios.catalog` x {push, pull, rpcc-sc}
+x two seeds runs short and traced, is replayed through the invariant
+checker (no violations allowed), and is reduced to the same digest shape
+as ``tests/test_golden_e2e.py``.  Digests live in
+``tests/golden/scenarios.json``; any drift in a preset's expansion — a
+changed override, a different fault plan, a reshuffled RNG stream — is
+caught here before it can silently invalidate a published sweep.
+
+Regenerate after an intentional behaviour change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_scenarios.py
+
+and commit the refreshed ``scenarios.json`` alongside the change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import build_simulation
+from repro.obs import InvariantChecker, ListSink, TraceBus
+from repro.scenarios.registry import SCENARIOS
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scenarios.json"
+UPDATE = bool(os.environ.get("REPRO_UPDATE_GOLDEN"))
+
+#: The conformance strategies: both baselines plus RPCC's strong level.
+SPECS = ("push", "pull", "rpcc-sc")
+SEEDS = (7, 11)
+
+#: Golden cells run short; presets deliberately leave sim_time/warmup/seed
+#: to the caller.  The warmup covers the relay bootstrap, and the 120 s
+#: window straddles every preset's scripted faults and popularity shift.
+BASE = dict(sim_time=120.0, warmup=60.0)
+
+_INT_METRICS = (
+    "transmissions", "messages", "bytes_on_air",
+    "queries_issued", "queries_answered", "queries_unanswered",
+)
+_FLOAT_METRICS = (
+    "mean_latency", "mean_hit_latency", "p95_latency",
+    "local_answer_ratio", "stale_ratio", "violation_ratio",
+    "mean_staleness_age",
+)
+
+
+def _matrix():
+    return [
+        (scenario, spec, seed)
+        for scenario in SCENARIOS.names()
+        for spec in SPECS
+        for seed in SEEDS
+    ]
+
+
+def _run_cell(scenario: str, spec: str, seed: int):
+    preset = SCENARIOS.get(scenario)
+    config, placement = preset.expand(SimulationConfig(seed=seed, **BASE))
+    bus = TraceBus()
+    sink = bus.add_sink(ListSink())
+    result = build_simulation(config, spec, placement, trace=bus).run()
+    bus.close()
+    return result, sink.events
+
+
+def _digest(result, events) -> dict:
+    summary = result.summary
+    digest = {name: getattr(summary, name) for name in _INT_METRICS}
+    digest.update({
+        name: round(getattr(summary, name), 6) for name in _FLOAT_METRICS
+    })
+    digest["counters"] = dict(sorted(summary.counters.items()))
+    digest["transmissions_by_type"] = dict(
+        sorted(summary.transmissions_by_type.items())
+    )
+    digest["total_queries"] = result.total_queries
+    digest["total_updates"] = result.total_updates
+    digest["events"] = dict(sorted(Counter(e.etype for e in events).items()))
+    return digest
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _store_golden(key: str, digest: dict) -> None:
+    golden = _load_golden()
+    golden[key] = digest
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize(
+    "scenario,spec,seed",
+    _matrix(),
+    ids=[f"{sc}-{sp}-s{sd}" for sc, sp, sd in _matrix()],
+)
+def test_golden_scenario_digest(scenario, spec, seed):
+    result, events = _run_cell(scenario, spec, seed)
+    digest = _digest(result, events)
+
+    # Conformance gate: every catalog cell must replay violation-free
+    # through the invariant checker, and not vacuously so.
+    report = InvariantChecker(delta=result.config.ttp).feed_all(events).finish()
+    assert report.ok, f"{scenario}/{spec} seed={seed}:\n{report.format()}"
+    assert report.reads_checked > 0
+
+    key = f"{scenario}-{spec}-seed{seed}"
+    if UPDATE:
+        _store_golden(key, digest)
+        pytest.skip(f"updated golden digest for {key}")
+    golden = _load_golden()
+    assert key in golden, (
+        f"no golden digest for {key}; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    assert digest == golden[key], (
+        f"behaviour drift in {key}: digest no longer matches "
+        f"tests/golden/scenarios.json (regenerate only if the change is intended)"
+    )
+
+
+def test_scenario_expansion_is_pure():
+    """Expanding a preset twice yields equal configs (no hidden state)."""
+    base = SimulationConfig(seed=3, **BASE)
+    for name in SCENARIOS.names():
+        preset = SCENARIOS.get(name)
+        first, first_placement = preset.expand(base)
+        second, second_placement = preset.expand(base)
+        assert (first, first_placement) == (second, second_placement), name
+
+
+def test_golden_file_covers_the_whole_matrix():
+    if UPDATE:
+        pytest.skip("regenerating")
+    golden = _load_golden()
+    expected = {f"{sc}-{sp}-seed{sd}" for sc, sp, sd in _matrix()}
+    assert set(golden) == expected

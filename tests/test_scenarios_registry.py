@@ -1,0 +1,189 @@
+"""Registry and scenario-spec behaviour: discovery, errors, round-trips.
+
+The listing tests are deliberate *snapshots*: adding (or losing) a
+registered scenario, policy or strategy must show up as a diff here, not
+silently widen or shrink the sweep surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.faults import FaultPlan, Partition
+from repro.scenarios.registry import (
+    POLICIES,
+    SCENARIOS,
+    STRATEGIES,
+    Registry,
+    register_scenario,
+)
+from repro.scenarios.spec import BASE_SCENARIOS, ScenarioSpec
+
+
+class TestRegistrySnapshots:
+    """The discovery surface, pinned exactly."""
+
+    def test_policy_listing(self):
+        assert POLICIES.names() == [
+            "fifo", "lfu", "lru", "lru-k", "size-utility", "ttl-value",
+        ]
+
+    def test_scenario_listing(self):
+        assert SCENARIOS.names() == [
+            "campus-partition", "flash-crowd", "highway-strip",
+            "multi-source", "trace-replay", "urban-grid",
+        ]
+
+    def test_strategy_listing(self):
+        assert STRATEGIES.names() == ["pull", "push", "rpcc"]
+
+    def test_every_scenario_has_a_description(self):
+        for name in SCENARIOS:
+            assert SCENARIOS.get(name).description, name
+
+    def test_len_and_contains(self):
+        assert len(SCENARIOS) == 6
+        assert "urban-grid" in SCENARIOS
+        assert "URBAN-GRID" in SCENARIOS  # case-insensitive lookup
+        assert "atlantis" not in SCENARIOS
+        assert 42 not in SCENARIOS
+
+
+class TestRegistryBehaviour:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ConfigurationError, match="urban-grid"):
+            SCENARIOS.get("no-such-scenario")
+
+    def test_duplicate_name_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", 1)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            registry.register("a", 2)
+
+    def test_duplicate_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            register_scenario(ScenarioSpec(name="urban-grid"))
+
+    def test_blank_name_rejected(self):
+        registry = Registry("thing")
+        with pytest.raises(ConfigurationError):
+            registry.register("   ", 1)
+        with pytest.raises(ConfigurationError):
+            registry.register(None, 1)
+
+    def test_non_string_lookup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            POLICIES.get(3)
+
+    def test_decorator_form(self):
+        registry = Registry("thing")
+
+        @registry.register("dec")
+        def entry():
+            return "hi"
+
+        assert registry.get("dec") is entry
+        assert registry.items() == [("dec", entry)]
+
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=12
+            ).filter(lambda s: s.strip()),
+            st.integers(),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_register_then_get_round_trips(self, entries):
+        registry = Registry("thing")
+        for name, value in entries.items():
+            registry.register(name, value)
+        for name, value in entries.items():
+            assert registry.get(name) == value
+            assert registry.get(name.upper()) == value
+        assert registry.names() == sorted(n.lower() for n in entries)
+
+
+# Hypothesis strategy for JSON-scalar override values.
+_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=15
+).filter(str.isidentifier)
+
+
+class TestScenarioSpec:
+    def test_configure_applies_overrides(self):
+        spec = ScenarioSpec(name="t", overrides={"n_peers": 12, "cache_num": 3})
+        config = spec.configure(SimulationConfig())
+        assert (config.n_peers, config.cache_num) == (12, 3)
+
+    def test_configure_rejects_unknown_field(self):
+        spec = ScenarioSpec(name="t", overrides={"n_prs": 12})
+        with pytest.raises(ConfigurationError, match="n_prs"):
+            spec.configure(SimulationConfig())
+
+    def test_base_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", base="sideways")
+        for base in BASE_SCENARIOS:
+            assert ScenarioSpec(name="t", base=base).base == base
+
+    def test_faults_round_trip(self):
+        plan = FaultPlan(
+            faults=(
+                Partition(start=70.0, duration=30.0, mode="spatial",
+                          axis="x", frac=0.5, name="cut"),
+            )
+        )
+        spec = ScenarioSpec(name="t", faults=plan)
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.faults == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="flavor"):
+            ScenarioSpec.from_dict({"name": "t", "flavor": "mint"})
+
+    def test_catalog_presets_round_trip_bit_identically(self):
+        for name in SCENARIOS.names():
+            spec = SCENARIOS.get(name)
+            blob = spec.to_json()
+            again = ScenarioSpec.from_json(blob)
+            assert again == spec, name
+            assert again.to_json() == blob, name
+
+    @given(
+        name=st.text(min_size=1, max_size=20).filter(lambda s: s.strip()),
+        description=st.text(max_size=40),
+        base=st.sampled_from(BASE_SCENARIOS),
+        overrides=st.dictionaries(_identifiers, _scalars, max_size=6),
+    )
+    def test_json_round_trip_is_bit_identical(self, name, description, base, overrides):
+        spec = ScenarioSpec(
+            name=name, description=description, base=base, overrides=overrides
+        )
+        blob = spec.to_json()
+        again = ScenarioSpec.from_json(blob)
+        assert again == spec
+        # Bit-identity, not just equality: re-serialising reproduces the
+        # exact bytes, so specs are safe content-address inputs.
+        assert again.to_json() == blob
+        assert json.loads(blob)["name"] == name
+
+    def test_expand_returns_placement(self):
+        spec = SCENARIOS.get("multi-source")
+        config, placement = spec.expand(SimulationConfig())
+        assert placement == "hot_set"
+        assert config.hot_set_size == 4
