@@ -1,0 +1,154 @@
+"""Hotspot diff: compare a cProfile run against a committed baseline.
+
+``repro run --profile OUT.pstats`` dumps raw pstats data.  This helper
+turns such dumps into a stable per-function hotspot table and diffs two
+of them, so a perf PR can answer "which functions got faster, which got
+slower, and what is new on the profile" without eyeballing two
+``print_stats`` listings side by side.
+
+Function keys are normalised to ``<relative-path>:<line>(<name>)`` with
+absolute prefixes up to ``src/`` (or the last path component for code
+outside the repo) stripped, so a summary JSON exported on one machine
+diffs cleanly against a profile taken on another.  That makes the JSON
+form committable as a hotspot baseline next to the ``BENCH_*.json``
+timing baselines::
+
+    PYTHONPATH=src python -m repro run rpcc-hy --profile now.pstats
+    python benchmarks/profile_diff.py --dump benchmarks/PROFILE_run.json now.pstats
+    # ... later, after an optimisation ...
+    python benchmarks/profile_diff.py benchmarks/PROFILE_run.json now.pstats
+
+Either side of the diff may be a ``.pstats`` dump or a previously
+``--dump``-ed JSON summary.  Timings are wall-clock seconds, so treat
+small deltas as noise — the tool is for *shape* changes (a leaf that
+doubled, a hot spot that vanished), not micro-regression gating; the
+gated timing baselines in ``run_bench.py`` do that job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pstats
+import sys
+from typing import Dict, Tuple
+
+#: Per-function profile row: (call count, total/self seconds, cumulative
+#: seconds).  Primitive-call counts are dropped — they add noise to the
+#: diff and never change which functions are hot.
+Row = Tuple[int, float, float]
+
+
+def normalise_key(filename: str, lineno: int, func: str) -> str:
+    """Stable, machine-independent key for one profiled function."""
+    path = filename.replace("\\", "/")
+    for anchor in ("/src/", "/benchmarks/", "/tests/"):
+        index = path.rfind(anchor)
+        if index >= 0:
+            path = path[index + 1:]
+            break
+    else:
+        # Builtins look like "~"; foreign code keeps its basename only.
+        path = path.rsplit("/", 1)[-1]
+    return f"{path}:{lineno}({func})"
+
+
+def load_summary(path: str) -> Dict[str, Row]:
+    """Load a hotspot table from a ``.pstats`` dump or a ``--dump`` JSON."""
+    if path.endswith(".json"):
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return {key: tuple(row) for key, row in payload["functions"].items()}
+    stats = pstats.Stats(path)
+    table: Dict[str, Row] = {}
+    for (filename, lineno, func), row in stats.stats.items():  # type: ignore[attr-defined]
+        calls, _primitive, tottime, cumtime = row[0], row[1], row[2], row[3]
+        key = normalise_key(filename, lineno, func)
+        if key in table:  # same function via two import paths: merge
+            old = table[key]
+            table[key] = (old[0] + calls, old[1] + tottime, max(old[2], cumtime))
+        else:
+            table[key] = (calls, tottime, cumtime)
+    return table
+
+
+def dump_summary(table: Dict[str, Row], out_path: str, top: int) -> None:
+    """Write the ``top`` hottest functions (by self time) as JSON."""
+    hottest = sorted(table.items(), key=lambda item: item[1][1], reverse=True)[:top]
+    payload = {
+        "format": "repro-profile-summary/1",
+        "functions": {key: list(row) for key, row in hottest},
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def diff(
+    baseline: Dict[str, Row],
+    current: Dict[str, Row],
+    sort: str = "tottime",
+    top: int = 25,
+) -> str:
+    """Render the hotspot diff as an aligned text table."""
+    column = 1 if sort == "tottime" else 2
+    keys = set(baseline) | set(current)
+    rows = []
+    for key in keys:
+        base = baseline.get(key)
+        cur = current.get(key)
+        base_secs = base[column] if base else 0.0
+        cur_secs = cur[column] if cur else 0.0
+        delta = cur_secs - base_secs
+        rows.append((abs(delta), delta, base, cur, key))
+    rows.sort(reverse=True)
+    lines = [
+        f"{'baseline':>10} {'current':>10} {'delta':>10}  {sort} by function",
+        "-" * 72,
+    ]
+    for _, delta, base, cur, key in rows[:top]:
+        base_text = f"{base[column]:10.4f}" if base else f"{'--':>10}"
+        cur_text = f"{cur[column]:10.4f}" if cur else f"{'--':>10}"
+        marker = " NEW" if base is None else (" GONE" if cur is None else "")
+        lines.append(f"{base_text} {cur_text} {delta:+10.4f}  {key}{marker}")
+    base_total = sum(row[1] for row in baseline.values())
+    cur_total = sum(row[1] for row in current.values())
+    lines.append("-" * 72)
+    lines.append(
+        f"{base_total:10.4f} {cur_total:10.4f} {cur_total - base_total:+10.4f}"
+        "  total self time"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline",
+                        help=".pstats dump or committed JSON summary")
+    parser.add_argument("current", nargs="?",
+                        help=".pstats dump or JSON summary to compare "
+                        "(omit with --dump to just export the baseline)")
+    parser.add_argument("--sort", default="tottime",
+                        choices=("tottime", "cumulative"),
+                        help="which timing column to diff (default tottime)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows to print / functions to dump (default 25)")
+    parser.add_argument("--dump", metavar="OUT.json",
+                        help="export the *last* positional argument as a "
+                        "committable JSON summary instead of diffing")
+    args = parser.parse_args(argv)
+
+    if args.dump:
+        source = args.current if args.current else args.baseline
+        dump_summary(load_summary(source), args.dump, args.top)
+        print(f"profile summary: {source} -> {args.dump}")
+        return 0
+    if not args.current:
+        parser.error("a second profile is required unless --dump is given")
+    print(diff(load_summary(args.baseline), load_summary(args.current),
+               sort=args.sort, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,12 @@ file:
 * ``kernel`` — the fast-path workloads of ``bench_kernel.py`` (event
   kernel, spatial-grid snapshot build, memoised BFS bursts, ``has_edge``),
   gated against ``BENCH_kernel.json``;
+* ``engine`` — the timer-wheel event engine of ``bench_engine.py``
+  (bulk schedule/run, the pooled ``post`` fast path, timer-renewal
+  churn on both the wheel and the pure heap, cancel-sweep pressure),
+  gated against ``BENCH_engine.json``; the wheel-over-heap churn
+  speedup lands in the baseline metadata, where the committed-target
+  test holds it to a floor;
 * ``sweep`` — the campaign executor of ``bench_sweep.py`` (serial vs
   two-worker vs cache-warm runs of a scaled Fig-7-style sweep), gated
   against ``BENCH_sweep.json``; the parallel and cache-hit speedups are
@@ -77,8 +83,8 @@ from repro.mobility.waypoint import RandomWaypoint  # noqa: E402
 from repro.net.topology import TopologySnapshot  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
-SUITES = ("kernel", "sweep", "trace", "topology", "faults", "scale",
-          "campaign")
+SUITES = ("kernel", "engine", "sweep", "trace", "topology", "faults",
+          "scale", "campaign")
 
 #: Timing repetitions per suite (the best is kept).  The sweep campaign
 #: is seconds-per-iteration, so it repeats less than the ms-scale kernels;
@@ -86,8 +92,8 @@ SUITES = ("kernel", "sweep", "trace", "topology", "faults", "scale",
 #: repeats least of all (the noise-retry pass still resamples any
 #: benchmark that appears to regress).
 SUITE_REPEATS = {
-    "kernel": 5, "sweep": 2, "trace": 3, "topology": 3, "faults": 3,
-    "scale": 1, "campaign": 3,
+    "kernel": 5, "engine": 5, "sweep": 2, "trace": 3, "topology": 3,
+    "faults": 3, "scale": 1, "campaign": 3,
 }
 
 #: Suites whose benchmark callables time themselves and return seconds
@@ -185,6 +191,10 @@ def suite_benchmarks(
     """The gated benchmarks of one suite (``workdir`` holds scratch state)."""
     if suite == "kernel":
         return kernel_benchmarks()
+    if suite == "engine":
+        from benchmarks.bench_engine import engine_benchmarks
+
+        return engine_benchmarks(workdir)
     if suite == "sweep":
         from benchmarks.bench_sweep import sweep_benchmarks
 
@@ -352,6 +362,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         meta: Dict[str, object] = {"repeats": repeats}
         if suite == "sweep":
             for name, value in sweep_speedups(results).items():
+                meta[name] = round(value, 3)
+                print(f"  {name:<24} {value:10.2f}x")
+        elif suite == "engine":
+            from benchmarks.bench_engine import engine_speedups
+
+            for name, value in engine_speedups(results).items():
                 meta[name] = round(value, 3)
                 print(f"  {name:<24} {value:10.2f}x")
         elif suite == "topology":

@@ -1,0 +1,124 @@
+"""100k-node vectorized smoke: a short run, digest-checked in CI.
+
+Builds the same topology-dominated RPCC configuration as the scale
+benchmarks at **100 000 peers**, runs five simulated seconds on the
+vectorized core, and reduces the result to a digest (event count plus
+the integer and rounded-float metrics).  The digest is compared against
+the committed golden at ``tests/golden/scale_100k.json``:
+
+* a crash, hang or memory blow-up at 100k nodes fails the job outright
+  — "completes at 100k" is the first claim being smoked;
+* any behavioural drift (engine fire order, topology, protocol) shows
+  up as a digest mismatch, exactly like the 20-node golden matrix but
+  at the scale where the timer wheel and the zero-allocation paths
+  actually carry the load.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python benchmarks/smoke_scale.py --update
+
+and commit the refreshed golden alongside the change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+sys.path.insert(0, str(BENCH_DIR.parent))
+
+GOLDEN_PATH = BENCH_DIR.parent / "tests" / "golden" / "scale_100k.json"
+
+N_PEERS = 100_000
+SIM_TIME = 5.0
+
+_INT_METRICS = (
+    "transmissions", "messages", "bytes_on_air",
+    "queries_issued", "queries_answered", "queries_unanswered",
+)
+_FLOAT_METRICS = (
+    "mean_latency", "mean_hit_latency", "p95_latency",
+    "local_answer_ratio", "stale_ratio", "violation_ratio",
+    "mean_staleness_age",
+)
+
+
+def run_smoke() -> Dict[str, object]:
+    """One 100k-node vectorized run reduced to its digest."""
+    import os
+
+    os.environ["REPRO_SOA"] = "1"
+    from benchmarks.bench_scale import SPEC, scale_config
+    from repro.experiments.runner import build_simulation
+
+    built_at = time.perf_counter()
+    simulation = build_simulation(
+        scale_config(N_PEERS, sim_time=SIM_TIME), SPEC, scenario="single_source"
+    )
+    if simulation.network.core != "vectorized":
+        raise RuntimeError("the 100k smoke needs numpy (the perf extra)")
+    run_at = time.perf_counter()
+    result = simulation.run()
+    done_at = time.perf_counter()
+    print(
+        f"100k smoke: built in {run_at - built_at:.1f}s, "
+        f"ran {SIM_TIME:.0f} simulated seconds in {done_at - run_at:.1f}s, "
+        f"{result.events_processed} events ({result.core} core)"
+    )
+    summary = result.summary
+    digest: Dict[str, object] = {
+        "n_peers": N_PEERS,
+        "sim_time": SIM_TIME,
+        "events_processed": result.events_processed,
+    }
+    digest.update({name: getattr(summary, name) for name in _INT_METRICS})
+    digest.update(
+        {name: round(getattr(summary, name), 6) for name in _FLOAT_METRICS}
+    )
+    digest["transmissions_by_type"] = dict(
+        sorted(summary.transmissions_by_type.items())
+    )
+    digest["counters"] = dict(sorted(summary.counters.items()))
+    return digest
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed golden from this run instead of checking",
+    )
+    args = parser.parse_args(argv)
+    digest = run_smoke()
+    if args.update:
+        GOLDEN_PATH.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n")
+        print(f"golden written to {GOLDEN_PATH}")
+        return 0
+    if not GOLDEN_PATH.exists():
+        print(f"FAIL: no committed golden at {GOLDEN_PATH}", file=sys.stderr)
+        return 1
+    expected = json.loads(GOLDEN_PATH.read_text())
+    if digest != expected:
+        drifted = sorted(
+            key
+            for key in set(digest) | set(expected)
+            if digest.get(key) != expected.get(key)
+        )
+        print(f"FAIL: 100k digest drifted on {drifted}", file=sys.stderr)
+        print(f"  expected: { {k: expected.get(k) for k in drifted} }",
+              file=sys.stderr)
+        print(f"  got:      { {k: digest.get(k) for k in drifted} }",
+              file=sys.stderr)
+        return 1
+    print("OK: 100k digest matches the committed golden")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--profile", metavar="OUT.pstats",
                             help="run under cProfile and write pstats data "
                             "to this path (bypasses the result cache)")
+    run_parser.add_argument("--profile-sort", default="cumulative",
+                            choices=("cumulative", "tottime"),
+                            help="ordering of the stderr hot-spot listing "
+                            "printed by --profile (default: cumulative; "
+                            "tottime surfaces self-time leaf hot spots)")
 
     trace_parser = sub.add_parser(
         "trace",
@@ -265,7 +270,10 @@ def _report_cache(executor: CampaignExecutor) -> None:
 
 def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
     if getattr(args, "profile", None):
-        result = _run_profiled(_config(args), args.spec, args.scenario, args.profile)
+        result = _run_profiled(
+            _config(args), args.spec, args.scenario, args.profile,
+            sort=getattr(args, "profile_sort", "cumulative"),
+        )
         print(f"profile: pstats data -> {args.profile}")
     elif getattr(args, "trace", None):
         # A traced run is never cache-served: the cache stores metrics,
@@ -309,12 +317,18 @@ def _print_fault_stats(result) -> None:
           f"over {stats.get('heals_observed', 0):.0f} heals")
 
 
-def _run_profiled(config: SimulationConfig, spec: str, scenario: str, out_path: str):
+def _run_profiled(
+    config: SimulationConfig,
+    spec: str,
+    scenario: str,
+    out_path: str,
+    sort: str = "cumulative",
+):
     """Run one simulation under cProfile; dump pstats data to ``out_path``.
 
     Only the simulation loop is profiled (not argument parsing or module
     import), and the run always executes — serving a cached result would
-    profile nothing.  The 15 largest cumulative-time functions go to
+    profile nothing.  The 15 largest functions by ``sort`` order go to
     stderr so the hot spots are visible without opening the pstats file
     (and without polluting the stdout summary).
     """
@@ -332,7 +346,7 @@ def _run_profiled(config: SimulationConfig, spec: str, scenario: str, out_path: 
         profiler.disable()
     profiler.dump_stats(out_path)
     stats = pstats.Stats(profiler, stream=sys.stderr)
-    stats.sort_stats("cumulative").print_stats(15)
+    stats.sort_stats(sort).print_stats(15)
     return result
 
 

@@ -191,6 +191,10 @@ class StrategyContext:
 class QueryJob(abc.ABC):
     """A query under consistency validation at some agent."""
 
+    # Empty slots here keep the concrete jobs (which declare their own
+    # ``__slots__``) free of a per-instance ``__dict__``.
+    __slots__ = ()
+
     item_id: int
     level: ConsistencyLevel
 

@@ -39,7 +39,7 @@ class WriteTag:
     writer: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class GossipDigest(Message):
     """'Here is my newest tag' — opener of one anti-entropy round."""
 
@@ -49,7 +49,7 @@ class GossipDigest(Message):
     writer: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class GossipValue(Message):
     """'Your tag was older; here is my value' — the pull half of a round."""
 

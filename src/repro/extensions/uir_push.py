@@ -31,7 +31,7 @@ __all__ = ["UIRReport", "UIRPushStrategy", "UIRPushAgent"]
 _GOLDEN = 0.6180339887498949
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class UIRReport(PushInvalidation):
     """A between-IR updated invalidation report (subtype for accounting)."""
 

@@ -29,7 +29,7 @@ from repro.sim.timers import PeriodicTimer
 __all__ = ["AmnesicReport", "ATClient", "AmnesicScheme"]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class AmnesicReport(Message):
     """``AT report = [sequence, {items updated since the last report}]``."""
 

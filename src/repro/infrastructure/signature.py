@@ -38,7 +38,7 @@ def _combine(versions: List[Tuple[int, int]]) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SignatureReport(Message):
     """``SIG report = (signature values for the fixed group family)``."""
 

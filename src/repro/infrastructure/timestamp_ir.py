@@ -28,7 +28,7 @@ from repro.sim.timers import PeriodicTimer
 __all__ = ["InvalidationReport", "TSClient", "TimestampScheme"]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class InvalidationReport(Message):
     """``IR = [T, {(item, timestamp) updated in (T - k*L, T]}]``."""
 
@@ -38,7 +38,7 @@ class InvalidationReport(Message):
     updates: Tuple[Tuple[int, float], ...] = ()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CellFetch(Message):
     """Client uplink fetch of one item."""
 
@@ -46,7 +46,7 @@ class CellFetch(Message):
     item_id: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CellFetchReply(Message):
     """MSS downlink reply carrying fresh content."""
 

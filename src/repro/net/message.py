@@ -22,7 +22,7 @@ def next_message_id() -> int:
     return next(_MESSAGE_IDS)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Message:
     """Immutable network message.
 

@@ -197,8 +197,9 @@ class Network:
             return False
         hops = len(path) - 1
         if hops == 0:
-            # Local delivery: no radio transmission involved.
-            self.sim.schedule(0.0, self._deliver, target, message)
+            # Local delivery: no radio transmission involved.  Deliveries
+            # are fire-and-forget, so they ride the pooled fast path.
+            self.sim.post(0.0, self._deliver, target, message)
             return True
         faults = self.faults
         transmissions = 0
@@ -220,13 +221,13 @@ class Network:
             if faults.duplicate():
                 # Deliver a second copy one hop-delay behind the first:
                 # protocols must treat repeated messages as idempotent.
-                self.sim.schedule(
+                self.sim.post(
                     delay + self.link.hop_delay(message.size_bytes),
                     self._deliver,
                     target,
                     message,
                 )
-        self.sim.schedule(delay, self._deliver, target, message)
+        self.sim.post(delay, self._deliver, target, message)
         return True
 
     def route_hops(self, source: int, target: int) -> Optional[int]:
@@ -268,10 +269,20 @@ class Network:
         levels = snapshot.bfs_levels(source, max_depth=ttl)
         transmissions = 0
         hop_delay = self.link.hop_delay(message.size_bytes)
-        deliver = self._deliver
-        deliveries = []
+        nodes = self._nodes
+        post = self.sim.post
+        batch_deliver = self._deliver_batch
+        # BFS discovery order is nondecreasing in depth, so recipients at
+        # the same depth are contiguous: coalesce each depth level into a
+        # single pooled event instead of one EventHandle per recipient.
+        # Depth groups are posted in depth order, so their relative
+        # sequence — and every per-node delivery inside a group — matches
+        # the per-recipient schedule stream exactly.
+        recipients = 0
+        group: List[int] = []
+        group_depth = 0
         for node_id, depth in levels.items():
-            node = self.node(node_id)
+            node = nodes[node_id]
             if depth == 0:
                 transmissions += 1
                 node.on_transmit(message)
@@ -280,13 +291,18 @@ class Network:
             if depth < ttl:
                 transmissions += 1
                 node.on_transmit(message)
-            deliveries.append((depth * hop_delay, deliver, (node_id, message)))
-        # One batched heap insert for the whole flood.  Sequence numbers
-        # are assigned in the same iteration order the per-recipient
-        # schedule calls used, so the event stream is bit-identical.
-        self.sim.schedule_batch(deliveries)
+            if depth != group_depth:
+                if group:
+                    post(group_depth * hop_delay, batch_deliver, group, message)
+                group = [node_id]
+                group_depth = depth
+            else:
+                group.append(node_id)
+            recipients += 1
+        if group:
+            post(group_depth * hop_delay, batch_deliver, group, message)
         self.traffic.record_transmissions(message, transmissions)
-        return len(deliveries)
+        return recipients
 
     def flood_reach(self, source: int, ttl: int) -> List[int]:
         """Ids of nodes a flood from ``source`` with ``ttl`` would reach now."""
@@ -299,6 +315,20 @@ class Network:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
+    def _deliver_batch(self, targets: List[int], message: Message) -> None:
+        """Deliver ``message`` to every node in ``targets`` as one event.
+
+        Semantically identical to firing one :meth:`_deliver` per target
+        back-to-back at the same instant: node liveness is re-checked per
+        target in order, so a delivery earlier in the batch that flips a
+        later target offline is observed exactly as it was with
+        per-recipient events.  Dispatching through :meth:`_deliver` keeps
+        the per-target seam that fault hooks and tests override.
+        """
+        deliver = self._deliver
+        for target in targets:
+            deliver(target, message)
+
     def _deliver(self, target: int, message: Message) -> None:
         node = self._nodes.get(target)
         if node is None or not node.online:

@@ -78,9 +78,14 @@ def _ragged_take(starts: "np.ndarray", counts: "np.ndarray") -> "np.ndarray":
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
+    # One fused repeat: start - exclusive-prefix-sum per group, so adding
+    # arange(total) yields start + within-group offset in a single pass.
     cum = np.cumsum(counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
-    return np.repeat(starts, counts) + within
+    base = starts + counts
+    base -= cum
+    out = np.repeat(base, counts)
+    out += np.arange(total, dtype=np.int64)
+    return out
 
 
 class CsrAdjacency:
@@ -92,15 +97,31 @@ class CsrAdjacency:
     source lookup, and many snapshots are never traversed at all.
     """
 
-    __slots__ = ("indptr", "neighbors", "ids", "_rank_table")
+    __slots__ = ("indptr", "neighbors", "ids", "_rank_table", "_ids_sorted")
 
     def __init__(self, indptr, neighbors, ids) -> None:
         self.indptr = indptr
         self.neighbors = neighbors
         self.ids = ids
         self._rank_table: Optional[Dict[int, int]] = None
+        self._ids_sorted: Optional[bool] = None
 
     def rank_of(self, node: int) -> int:
+        ids_sorted = self._ids_sorted
+        if ids_sorted is None:
+            # Registration order normally assigns ascending ids, so a
+            # binary search replaces the per-snapshot Python dict of every
+            # node; one cached vector compare validates the assumption.
+            ids = self.ids
+            ids_sorted = self._ids_sorted = bool(
+                ids.shape[0] == 0 or bool((ids[1:] > ids[:-1]).all())
+            )
+        if ids_sorted:
+            ids = self.ids
+            index = int(np.searchsorted(ids, node))
+            if index < ids.shape[0] and int(ids[index]) == node:
+                return index
+            raise KeyError(node)
         table = self._rank_table
         if table is None:
             table = self._rank_table = {
@@ -179,55 +200,77 @@ def build_csr(
         group_of = np.full(table_size, -1, dtype=np.int64)
         group_of[uniq] = np.arange(uniq.shape[0], dtype=np.int64)
 
-    ranks = np.arange(n, dtype=np.int64)
-    a_parts: List["np.ndarray"] = []
-    b_parts: List["np.ndarray"] = []
     # Offset (0, 0) yields every ordered same-cell pair (the a < b filter
     # below keeps each unordered pair once); the four half-neighbourhood
     # offsets each yield every cross-cell pair exactly once — the same
-    # coverage argument as the scalar build.
-    for ox, oy in ((0, 0), (1, 0), (0, 1), (1, 1), (-1, 1)):
-        target = keys + (ox * height + oy)
-        if group_of is not None:
-            slot = group_of[target]
-            valid = slot >= 0
-        else:
-            slot = np.searchsorted(uniq, target)
-            slot[slot >= len(uniq)] = 0
-            valid = uniq[slot] == target
-        if not valid.any():
-            continue
-        a_rank = ranks[valid]
-        g_start = starts[slot[valid]]
-        g_count = counts[slot[valid]]
-        take = _ragged_take(g_start, g_count)
+    # coverage argument as the scalar build.  All five offsets run as one
+    # batched (5, n) lookup; row-major flattening keeps the exact
+    # offset-then-rank candidate order of the per-offset loop.
+    offsets = np.array(
+        [0, height, 1, height + 1, 1 - height], dtype=np.int64
+    ).reshape(5, 1)
+    targets = (keys + offsets).ravel()
+    if group_of is not None:
+        slot = group_of[targets]
+        valid = slot >= 0
+    else:
+        slot = np.searchsorted(uniq, targets)
+        slot[slot >= len(uniq)] = 0
+        valid = uniq[slot] == targets
+    cand_a = cand_b = None
+    nz = np.nonzero(valid)[0]
+    if nz.size:
+        slot_sel = slot.take(nz)
+        # Row index within the flattened (5, n) matrix mod n is the rank.
+        a_sel = nz % n
+        g_count = counts[slot_sel]
+        take = _ragged_take(starts[slot_sel], g_count)
         b_rank = order[take]
-        a_rank = np.repeat(a_rank, g_count)
-        if ox == 0 and oy == 0:
-            keep = a_rank < b_rank
+        a_rank = np.repeat(a_sel, g_count)
+        # Same-cell block: offset 0 is the first n rows of the flattened
+        # matrix, so its expanded candidates form a prefix; a < b keeps
+        # each unordered same-cell pair once.
+        n0 = int(np.searchsorted(nz, n))
+        head = int(g_count[:n0].sum()) if n0 else 0
+        if head:
+            keep = np.ones(a_rank.shape[0], dtype=bool)
+            np.less(a_rank[:head], b_rank[:head], out=keep[:head])
             a_rank = a_rank[keep]
             b_rank = b_rank[keep]
         if a_rank.size:
-            a_parts.append(a_rank)
-            b_parts.append(b_rank)
+            cand_a = a_rank
+            cand_b = b_rank
 
-    if a_parts:
-        # One fused distance pass over every candidate pair.
-        cand_a = np.concatenate(a_parts)
-        cand_b = np.concatenate(b_parts)
-        dx = xs[cand_a] - xs[cand_b]
-        dy = ys[cand_a] - ys[cand_b]
-        near = dx * dx + dy * dy <= limit_sq
+    if cand_a is not None:
+        # One fused distance pass over every candidate pair; squares and
+        # the sum run in place to avoid intermediate allocations.
+        dx = xs.take(cand_a)
+        dx -= xs.take(cand_b)
+        dy = ys.take(cand_a)
+        dy -= ys.take(cand_b)
+        dx *= dx
+        dy *= dy
+        dx += dy
+        near = dx <= limit_sq
         half_src = cand_a[near]
         half_dst = cand_b[near]
-        src = np.concatenate((half_src, half_dst))
-        dst = np.concatenate((half_dst, half_src))
         # Per-node lists ascending by rank == the scalar post-build sort.
-        edge_order = np.lexsort((dst, src))
-        dst = dst[edge_order]
-        src = src[edge_order]
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        # (src, dst) pairs are unique, so sorting the fused key src*n+dst
+        # in place gives exactly the lexsort((dst, src)) order without the
+        # argsort-and-gather round trip.
+        fused = np.concatenate((half_src, half_dst))
+        fused *= n
+        fused[: half_src.shape[0]] += half_dst
+        fused[half_src.shape[0]:] += half_src
+        fused.sort()
+        # Segment boundaries fall out of the sorted fused keys directly:
+        # indptr[r] = first edge with src >= r, found by binary search.
+        indptr = np.empty(n + 1, dtype=np.int64)
+        indptr[0] = 0
+        indptr[1:] = np.searchsorted(fused, np.arange(1, n + 1, dtype=np.int64) * n)
+        src = fused // n
+        dst = fused  # reuse the sorted buffer: dst = fused mod n in place
+        dst -= src * n
     else:
         dst = np.empty(0, dtype=np.int64)
         indptr = np.zeros(n + 1, dtype=np.int64)
@@ -333,7 +376,7 @@ class ArrayPositions(Mapping):
     its scalar counterpart.
     """
 
-    __slots__ = ("ids", "xs", "ys", "_dict", "_key_set")
+    __slots__ = ("ids", "xs", "ys", "_dict", "_key_set", "_ids_sorted")
 
     def __init__(self, ids: "np.ndarray", xs: "np.ndarray", ys: "np.ndarray") -> None:
         self.ids = ids
@@ -341,6 +384,7 @@ class ArrayPositions(Mapping):
         self.ys = ys
         self._dict: Optional[Dict[int, Point]] = None
         self._key_set = None
+        self._ids_sorted: Optional[bool] = None
 
     def arrays(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
         """The backing ``(ids, xs, ys)`` arrays (never mutated)."""
@@ -368,6 +412,22 @@ class ArrayPositions(Mapping):
         return int(self.ids.shape[0])
 
     def __contains__(self, node: object) -> bool:
+        ids_sorted = self._ids_sorted
+        if ids_sorted is None:
+            # Registration order normally assigns ascending ids; a binary
+            # search then answers membership without materialising a
+            # Python set of every node per snapshot.
+            ids = self.ids
+            ids_sorted = self._ids_sorted = bool(
+                ids.shape[0] == 0 or bool((ids[1:] > ids[:-1]).all())
+            )
+        if ids_sorted:
+            ids = self.ids
+            try:
+                index = int(np.searchsorted(ids, node))
+            except (TypeError, ValueError):
+                return False
+            return index < ids.shape[0] and ids[index] == node
         keys = self._key_set
         if keys is None:
             keys = self._key_set = set(self.ids.tolist())

@@ -76,7 +76,10 @@ class PeriodicTimer:
 
     def _fire(self) -> None:
         self._ticks += 1
-        self._handle = self._sim.schedule(self.interval, self._fire)
+        # Re-arm the just-fired handle in place: one wheel re-slot per
+        # tick, no new EventHandle.  Safe because the timer exclusively
+        # owns the handle (we are running inside its own callback).
+        self._handle = self._sim.reschedule(self._handle, self.interval)
         self._callback()
 
 
@@ -123,11 +126,19 @@ class CountdownTimer:
         if window < 0:
             raise SimulationError(f"renew duration must be non-negative, got {window!r}")
         self._expires_at = self._sim.now + window
+        if self._on_expire is not None and window > 0:
+            handle = self._handle
+            if handle is not None:
+                # In-place wheel re-slot: no cancel tombstone, no new
+                # handle.  Consumes one sequence number, exactly like the
+                # cancel-and-reschedule idiom it replaces.
+                self._handle = self._sim.reschedule(handle, window)
+            else:
+                self._handle = self._sim.schedule(window, self._expire)
+            return
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
-        if self._on_expire is not None and window > 0:
-            self._handle = self._sim.schedule(window, self._expire)
 
     def expire_now(self) -> None:
         """Force the window closed immediately (without firing callbacks)."""

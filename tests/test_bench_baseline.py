@@ -179,7 +179,7 @@ class TestRunBench:
             assert defined == {n for n in committed if "scalar" in n}
 
     def test_scale_speedups_derived_from_timings(self):
-        from benchmarks.bench_scale import scale_speedups
+        from benchmarks.bench_scale import PR6_VECTORIZED_10000, scale_speedups
 
         ratios = scale_speedups({
             "scale_run_scalar_1000": 0.30,
@@ -190,6 +190,7 @@ class TestRunBench:
         assert ratios == {
             "vectorized_speedup_1000": pytest.approx(3.0),
             "vectorized_speedup_10000": pytest.approx(5.6),
+            "engine_speedup_vs_pr6": pytest.approx(PR6_VECTORIZED_10000 / 2.5),
         }
         assert scale_speedups({}) == {}
 
@@ -209,6 +210,63 @@ class TestRunBench:
         for scale in (1000, 5000, 10000):
             assert results[f"scale_run_scalar_{scale}"] > 0
             assert results[f"scale_run_vectorized_{scale}"] > 0
+
+    def test_committed_scale_baseline_doubles_the_pr6_run_phase(self):
+        """The engine PR's acceptance bar: the committed 10k-node
+        vectorized run phase is at least 2x faster than the committed
+        pre-wheel (PR-6) measurement on the same reference machine."""
+        import pathlib
+
+        from benchmarks.bench_scale import PR6_VECTORIZED_10000
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_scale.json"
+        )
+        data = json.loads(baseline_path.read_text())
+        committed = data["results"]["scale_run_vectorized_10000"]
+        assert PR6_VECTORIZED_10000 / committed >= 2.0
+        assert data["meta"]["engine_speedup_vs_pr6"] >= 2.0
+
+    def test_engine_benchmark_names_match_committed_baseline(self, tmp_path):
+        import pathlib
+
+        from benchmarks.bench_engine import engine_benchmarks
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_engine.json"
+        )
+        committed = set(load_baseline(baseline_path))
+        defined = {name for name, _ in engine_benchmarks(str(tmp_path))}
+        assert defined == committed
+
+    def test_engine_speedups_derived_from_timings(self):
+        from benchmarks.bench_engine import engine_speedups
+
+        ratios = engine_speedups({
+            "engine_timer_churn_wheel_50k": 0.04,
+            "engine_timer_churn_heap_50k": 0.10,
+        })
+        assert ratios["churn_speedup_wheel"] == pytest.approx(2.5)
+        assert engine_speedups({}) == {}
+
+    def test_committed_engine_baseline_records_the_churn_floor(self):
+        """The timer-churn microbench floor: renewing timers through the
+        wheel must stay well ahead of the cancel-plus-push heap idiom."""
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_engine.json"
+        )
+        data = json.loads(baseline_path.read_text())
+        assert data["meta"]["churn_speedup_wheel"] >= 1.5
+        for name, seconds in data["results"].items():
+            assert seconds > 0, name
 
     def test_campaign_benchmark_names_match_committed_baseline(self, tmp_path):
         import pathlib

@@ -229,12 +229,30 @@ class TestPendingCounter:
 
 
 class TestHeapCompaction:
-    """Cancelled tombstones are swept once they outnumber live events."""
+    """Cancelled entries are swept once they outnumber live events."""
 
-    def test_heap_stays_bounded_under_cancel_churn(self, sim):
+    def test_wheel_stays_bounded_under_cancel_churn(self):
         # A rearmed-timer workload: every iteration schedules a far-future
-        # event and immediately cancels the previous one.  Without
-        # compaction the heap would grow to ~10_000 tombstones.
+        # event and immediately cancels the previous one.  Without the
+        # periodic bucket sweep the wheel would hold ~10_000 dead entries.
+        sim = Simulator(wheel=True)
+        pending = None
+        for i in range(10_000):
+            fresh = sim.schedule(1_000.0 + i, lambda: None)
+            if pending is not None:
+                pending.cancel()
+            pending = fresh
+        assert sim.pending_events == 1
+        assert sim.heap_size <= 2 * Simulator._SWEEP_FLOOR
+        assert sim.wheel_sweeps > 0
+        # Wheel-managed cancels never touch the far-heap machinery.
+        assert sim.tombstones == 0
+        assert sim.heap_compactions == 0
+
+    def test_heap_stays_bounded_under_cancel_churn(self):
+        # The same workload on the pure-heap engine exercises the
+        # tombstone compaction path instead.
+        sim = Simulator(wheel=False)
         pending = None
         for i in range(10_000):
             fresh = sim.schedule(1_000.0 + i, lambda: None)
@@ -246,9 +264,10 @@ class TestHeapCompaction:
         assert sim.heap_compactions > 0
 
     def test_compaction_preserves_fire_order(self):
-        # Same live schedule in both simulators; one also schedules and
-        # cancels enough extra events to trigger compaction mid-build.
-        plain, compacted = Simulator(), Simulator()
+        # Same live schedule on both engines; the heap one also schedules
+        # and cancels enough extras to trigger compaction mid-build.  The
+        # identical fire order doubles as a wheel-vs-heap equivalence check.
+        plain, compacted = Simulator(wheel=True), Simulator(wheel=False)
         order_plain, order_compacted = [], []
         for i in range(200):
             when = float((i * 37) % 100) + 1.0  # interleaved, with time ties
@@ -260,8 +279,76 @@ class TestHeapCompaction:
         assert plain.run() == compacted.run() == 200
         assert order_compacted == order_plain
 
-    def test_small_heaps_never_compact(self, sim):
+    def test_small_stores_never_compact(self, sim):
         for i in range(10):
             sim.schedule(float(i + 1), lambda: None).cancel()
         assert sim.heap_compactions == 0
+        assert sim.wheel_sweeps == 0
         assert sim.heap_size == 10
+
+
+class TestWheelEngine:
+    """Wheel-specific behavior: far fallback, in-place renew, pooling."""
+
+    def test_far_future_events_cross_the_wheel_horizon(self, sim):
+        # 20_000 s and 40_000 s are beyond the 16384 s wheel horizon, so
+        # they file into the far heap and must still fire in order.
+        order = []
+        sim.schedule(40_000.0, order.append, "far2")
+        sim.schedule(20_000.0, order.append, "far1")
+        sim.schedule(1.0, order.append, "near")
+        sim.schedule(100.0, order.append, "wheel1")
+        sim.run()
+        assert order == ["near", "wheel1", "far1", "far2"]
+        assert sim.pending_events == 0
+
+    def test_reschedule_moves_a_pending_event(self, sim):
+        fired = []
+        handle = sim.schedule(5.0, fired.append, "x")
+        moved = sim.reschedule(handle, 2.0)
+        assert sim.pending_events == 1
+        sim.run_until(2.0)
+        assert fired == ["x"]
+        assert not moved.pending
+        sim.run()
+        assert fired == ["x"]  # fires exactly once
+
+    def test_reschedule_consumes_one_seq_like_cancel_plus_schedule(self):
+        # Interleave a renewal with ordinary schedules at a tied time on
+        # both engines: the relative order must match exactly.
+        logs = []
+        for wheel in (True, False):
+            sim = Simulator(wheel=wheel)
+            order = []
+            handle = sim.schedule(1.0, order.append, "renewed")
+            sim.schedule(3.0, order.append, "a")
+            sim.reschedule(handle, 3.0)  # tied with "a", later seq
+            sim.schedule(3.0, order.append, "b")
+            sim.run()
+            logs.append(order)
+        assert logs[0] == logs[1] == ["a", "renewed", "b"]
+
+    def test_post_fires_and_recycles_handles(self, sim):
+        fired = []
+        sim.post(1.0, fired.append, "a")
+        sim.post(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.pending_events == 0
+        # The handles went back to the freelist and are reused.
+        assert len(sim._pool) == 2
+        sim.post(1.0, fired.append, "c")
+        assert len(sim._pool) == 1
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_wheel_timers_leave_no_tombstones(self):
+        # Renew-heavy countdown usage keeps the far-heap counters at zero:
+        # the wheel absorbs every cancel/renew without tombstoning.
+        sim = Simulator(wheel=True)
+        handle = sim.schedule(10.0, lambda: None)
+        for _ in range(100):
+            handle = sim.reschedule(handle, 10.0)
+        assert sim.tombstones == 0
+        assert sim.heap_compactions == 0
+        assert sim.pending_events == 1

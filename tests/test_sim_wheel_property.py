@@ -1,0 +1,168 @@
+"""Property tests: the timer-wheel engine is bit-identical to the heap.
+
+Every example drives two :class:`~repro.sim.engine.Simulator` instances —
+one on the hybrid wheel engine (``wheel=True``), one on the pure binary
+heap (``wheel=False``) — through the *same* randomized interleaving of
+``schedule`` / ``post`` / ``cancel`` / ``reschedule`` / ``run_until``
+operations and asserts the observable outcomes are equal and in the same
+order: the full ``(time, tag)`` fire log, the live pending counter after
+every operation, and the final clock.
+
+Delays are drawn from a mixture that deliberately straddles every filing
+boundary of the wheel: zero delays (the current near-heap slot), the
+fine wheel (sub-64 s), exact 0.25 s slot-width multiples (bucket-edge
+arithmetic), the coarse wheel (64 s .. ~4.5 h) and the far heap beyond
+the 16384 s wheel horizon.  Ties in time are frequent by construction,
+so the ``(time, seq)`` tie-break is exercised constantly.
+
+A second suite drives the real timer helpers (:class:`CountdownTimer`,
+:class:`PeriodicTimer`) through randomized renew/stop/restart churn and
+asserts the wheel absorbs all of it in place: the far-heap tombstone and
+compaction counters stay **zero**, which is the structural claim behind
+the zero-allocation renew fast path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import CountdownTimer, PeriodicTimer
+
+# Delays straddling every filing region of the hybrid engine.  The wheel
+# horizon sits at ~16384 s ahead of the cursor, so the last band forces
+# far-heap filing and the mid bands exercise both wheel levels.
+_DELAYS = st.one_of(
+    st.just(0.0),
+    st.integers(min_value=0, max_value=16).map(lambda k: k * 0.25),
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=60.0, max_value=70.0, allow_nan=False),
+    st.floats(min_value=5_000.0, max_value=20_000.0, allow_nan=False),
+    st.floats(min_value=16_000.0, max_value=40_000.0, allow_nan=False),
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), _DELAYS),
+        st.tuples(st.just("post"), _DELAYS),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10_000)),
+        st.tuples(
+            st.just("reschedule"),
+            st.integers(min_value=0, max_value=10_000),
+            _DELAYS,
+        ),
+        st.tuples(
+            st.just("run_until"),
+            st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _Arm:
+    """One engine under test: a simulator, its handles and its fire log."""
+
+    def __init__(self, wheel: bool) -> None:
+        self.sim = Simulator(wheel=wheel)
+        self.handles = []
+        self.log = []
+
+    def fire(self, tag: int) -> None:
+        self.log.append((self.sim.now, tag))
+
+
+def _apply(arm: _Arm, op, tag: int) -> None:
+    sim = arm.sim
+    kind = op[0]
+    if kind == "schedule":
+        arm.handles.append(sim.schedule(op[1], arm.fire, tag))
+    elif kind == "post":
+        # Pooled fire-and-forget: the handle must not be retained.
+        sim.post(op[1], arm.fire, tag)
+    elif kind == "cancel":
+        if arm.handles:
+            arm.handles[op[1] % len(arm.handles)].cancel()
+    elif kind == "reschedule":
+        if arm.handles:
+            index = op[1] % len(arm.handles)
+            arm.handles[index] = sim.reschedule(arm.handles[index], op[2])
+    elif kind == "run_until":
+        sim.run_until(sim.now + op[1])
+    else:  # pragma: no cover - strategy and dispatch are in lockstep
+        raise AssertionError(f"unknown op {kind!r}")
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_OPS)
+def test_wheel_and_heap_fire_identically(ops):
+    wheel, heap = _Arm(wheel=True), _Arm(wheel=False)
+    tag = 0
+    for op in ops:
+        if op[0] in ("schedule", "post", "reschedule"):
+            tag += 1
+        _apply(wheel, op, tag)
+        _apply(heap, op, tag)
+        assert wheel.sim.pending_events == heap.sim.pending_events
+        assert wheel.sim.now == heap.sim.now
+    assert wheel.sim.run() == heap.sim.run()
+    assert wheel.log == heap.log
+    assert wheel.sim.now == heap.sim.now
+    assert wheel.sim.pending_events == heap.sim.pending_events == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("renew"),
+                st.floats(min_value=0.0, max_value=900.0, allow_nan=False),
+            ),
+            st.tuples(st.just("expire_now")),
+            st.tuples(st.just("stop")),
+            st.tuples(st.just("start")),
+            st.tuples(
+                st.just("run_until"),
+                st.floats(min_value=0.0, max_value=240.0, allow_nan=False),
+            ),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    duration=st.floats(min_value=0.5, max_value=600.0, allow_nan=False),
+    interval=st.floats(min_value=0.5, max_value=120.0, allow_nan=False),
+)
+def test_wheel_timers_never_tombstone(ops, duration, interval):
+    # CountdownTimer renew churn and PeriodicTimer stop/start churn both
+    # stay entirely inside the wheel: no far-heap tombstones, no heap
+    # compactions, however the operations interleave.
+    sim = Simulator(wheel=True)
+    expirations = []
+    countdown = CountdownTimer(sim, duration, on_expire=lambda: expirations.append(sim.now))
+    periodic = PeriodicTimer(sim, interval, lambda: None)
+    periodic.start()
+    for op in ops:
+        if op[0] == "renew":
+            countdown.renew(op[1])
+        elif op[0] == "expire_now":
+            countdown.expire_now()
+        elif op[0] == "stop":
+            periodic.stop()
+        elif op[0] == "start":
+            periodic.start()
+        else:
+            sim.run_until(sim.now + op[1])
+        assert sim.tombstones == 0
+        assert sim.heap_compactions == 0
+    periodic.stop()
+    countdown.expire_now()
+    sim.run()
+    assert sim.tombstones == 0
+    assert sim.heap_compactions == 0
+    # The countdown fires in time order and nothing is left armed.
+    assert expirations == sorted(expirations)
+    assert sim.pending_events == 0
