@@ -1,0 +1,147 @@
+"""Online-controller benchmarks: observation must be near-free.
+
+Three shapes of the same chaos-scale run (20 peers, 3+1 simulated
+minutes, RPCC strong, short switching interval so relays actually form):
+
+* **off** — ``controller=None``: the guard path every production run
+  takes.  No controller object exists; the startup batch never arms a
+  tick timer and no named ``"controller"`` RNG stream is drawn, so this
+  arm is bit-identical to pre-controller builds (the golden digest
+  suites hold that exactly; the entry here tracks the wall-clock side).
+* **static** — the no-op policy: the full sampling loop runs every tick
+  (metric deltas, degradation snapshot, host CAR/CS/CE means) but no
+  decision ever actuates.  This prices pure observation — the overhead
+  an operator pays just to *watch* a healthy system.
+* **hysteresis-chaos** — the adaptive policy under the shipped east-west
+  partition plan: sampling plus real actuations through the strategy
+  seams, the full closed loop the adaptive-vs-static campaign runs.
+
+``run_bench.py --suite control`` gates all three against
+``BENCH_control.json``; the pytest entry points assert the correctness
+side (static sampling is observationally free) and hold the fault-free
+controller overhead to the 5% budget.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import build_simulation
+from repro.faults import FaultPlan
+
+from benchmarks.conftest import bench_config
+
+CONTROL_SPEC = "rpcc-sc"
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples" / "faults"
+
+
+def control_config(
+    controller: Optional[str] = None, plan: Optional[FaultPlan] = None
+) -> SimulationConfig:
+    """Chaos-suite scale: small enough to repeat, relays form in-window."""
+    return bench_config(
+        n_peers=20,
+        sim_time=180.0,
+        warmup=60.0,
+        terrain_width=1000.0,
+        terrain_height=1000.0,
+        switch_interval=60.0,
+        faults=plan,
+        controller=controller,
+    )
+
+
+def run_with_controller(
+    controller: Optional[str], plan: Optional[FaultPlan] = None
+):
+    return build_simulation(
+        control_config(controller, plan), CONTROL_SPEC, "standard"
+    ).run()
+
+
+def _plan(name: str) -> FaultPlan:
+    return FaultPlan.load(EXAMPLES / f"{name}.json")
+
+
+def control_benchmarks(workdir: str) -> List[Tuple[str, Callable[[], None]]]:
+    """Name -> one-iteration callable for every gated control benchmark."""
+    partition = _plan("partition")
+    return [
+        ("control_off_run", lambda: run_with_controller(None)),
+        ("control_static_run", lambda: run_with_controller("static")),
+        ("control_hysteresis_chaos_run",
+         lambda: run_with_controller("hysteresis", partition)),
+    ]
+
+
+def control_overheads(results) -> dict:
+    """Derive the observation/closed-loop cost ratios from the timings."""
+    off = results.get("control_off_run")
+    overheads = {}
+    if not off:
+        return overheads
+    static = results.get("control_static_run")
+    hysteresis = results.get("control_hysteresis_chaos_run")
+    if static:
+        overheads["static_sampling_overhead"] = static / off
+    if hysteresis:
+        overheads["hysteresis_chaos_overhead"] = hysteresis / off
+    return overheads
+
+
+# ----------------------------------------------------------------------
+# pytest entry points: correctness first, measured overhead printed.
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_static_sampling_is_observationally_free():
+    """The no-op policy samples every window yet perturbs nothing.
+
+    Sampling is pull-based (metric deltas and degradation snapshots);
+    the only extra events are the controller's own ticks and its RNG is
+    the named ``"controller"`` stream — so the metrics summary must be
+    *equal*, not merely close, to the controller-less run.
+    """
+    off = run_with_controller(None)
+    static = run_with_controller("static")
+    assert static.summary == off.summary
+    assert static.control_decisions == []
+
+
+def test_fault_free_controller_overhead_is_bounded(capsys):
+    """Watching a healthy system must cost at most 5% wall-clock."""
+    off = _best_of(lambda: run_with_controller(None))
+    static = _best_of(lambda: run_with_controller("static"))
+    print(f"\n  controller off   {off * 1e3:9.1f} ms")
+    print(f"  static sampling  {static * 1e3:9.1f} ms "
+          f"({static / off:5.2f}x)")
+    assert static < off * 1.05
+
+
+def test_adaptive_loop_overhead_is_bounded(capsys):
+    """The full closed loop under chaos stays within the fault budget.
+
+    The hysteresis arm pays for the partition plan *and* the actuations;
+    the fault suite already bounds injected chaos at 3x fault-free, so
+    the adaptive loop on top must stay inside the same envelope.
+    """
+    off = _best_of(lambda: run_with_controller(None))
+    adaptive = _best_of(
+        lambda: run_with_controller("hysteresis", _plan("partition"))
+    )
+    print(f"\n  controller off   {off * 1e3:9.1f} ms")
+    print(f"  adaptive chaos   {adaptive * 1e3:9.1f} ms "
+          f"({adaptive / off:5.2f}x)")
+    assert adaptive < off * 3.0

@@ -1,0 +1,225 @@
+"""The adaptive-vs-static chaos campaign and its committed artifact.
+
+Extends the 40-cell chaos matrix (4 shipped fault plans x 5 strategy
+specs x 2 seeds) into an 80-run controller comparison: every cell runs
+once under the ``static`` policy (full sampling cost, no actuation) and
+once under ``hysteresis``.  Every run is traced and replayed through the
+:class:`~repro.obs.checker.InvariantChecker` — the campaign is only
+valid when *all 80 traces* are violation-free.
+
+The committed artifact ``benchmarks/CONTROL_campaign.json`` records the
+per-cell numbers and the aggregate comparison.  The regression gate
+(``tests/test_control_campaign.py``) asserts the graceful-degradation
+guarantees *from the artifact* — adaptive dominates or matches static on
+
+* availability (answered / issued),
+* stale-serve rate while partitioned, and
+* mean time to reconverge after a heal,
+
+within tolerance — and re-runs one cell bit-exactly to prove the
+artifact still describes the code.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python -m benchmarks.control_campaign --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import build_simulation
+from repro.faults import FaultPlan
+from repro.obs import InvariantChecker, ListSink, TraceBus
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent / "CONTROL_campaign.json"
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples" / "faults"
+
+PLANS = ("partition", "bursty_loss", "relay_kill", "crash_reboot")
+SPECS = ("push", "pull", "rpcc-sc", "rpcc-dc", "rpcc-wc")
+SEEDS = (7, 11)
+POLICIES = ("static", "hysteresis")
+
+#: Aggregate tolerances of the dominance gate.  Individual cells may
+#: trade a little availability for a lot of freshness; the aggregates
+#: must not.
+EPS_AVAILABILITY = 0.01
+EPS_STALE_RATE = 0.01
+EPS_RECONVERGE = 2.0  # seconds
+
+FLOAT_DIGITS = 9
+
+
+def campaign_config(
+    plan_name: str, seed: int, controller: Optional[str]
+) -> SimulationConfig:
+    """One chaos-matrix cell (mirrors ``tests/test_faults_chaos.py``)."""
+    return SimulationConfig(
+        n_peers=20,
+        terrain_width=1000.0,
+        terrain_height=1000.0,
+        sim_time=180.0,
+        warmup=60.0,
+        seed=seed,
+        switch_interval=60.0,
+        faults=FaultPlan.load(EXAMPLES / f"{plan_name}.json"),
+        controller=controller,
+    )
+
+
+def run_cell(plan_name: str, spec: str, seed: int, controller: str) -> Dict:
+    """Run one traced cell and reduce it to the recorded numbers."""
+    config = campaign_config(plan_name, seed, controller)
+    bus = TraceBus()
+    sink = bus.add_sink(ListSink())
+    result = build_simulation(config, spec, "standard", trace=bus).run()
+    bus.close()
+    report = InvariantChecker(delta=config.ttp).feed_all(sink.events).finish()
+    summary = result.summary
+    stats = result.fault_stats
+    issued = summary.queries_issued
+    return {
+        "plan": plan_name,
+        "spec": spec,
+        "seed": seed,
+        "policy": controller,
+        "availability": round(
+            summary.queries_answered / issued if issued else 1.0, FLOAT_DIGITS
+        ),
+        "stale_serve_rate_in_partition": round(
+            stats.get("stale_serve_rate_in_partition", 0.0), FLOAT_DIGITS
+        ),
+        "mean_time_to_reconverge": round(
+            stats.get("mean_time_to_reconverge", 0.0), FLOAT_DIGITS
+        ),
+        "stale_ratio": round(summary.stale_ratio, FLOAT_DIGITS),
+        "violations": len(report.violations),
+        "decisions": len(result.control_decisions),
+    }
+
+
+def aggregate(cells: List[Dict]) -> Dict[str, Dict[str, float]]:
+    """Mean per-policy numbers over every cell of the campaign."""
+    out: Dict[str, Dict[str, float]] = {}
+    for policy in POLICIES:
+        rows = [cell for cell in cells if cell["policy"] == policy]
+        out[policy] = {
+            "cells": len(rows),
+            "availability": round(
+                sum(r["availability"] for r in rows) / len(rows), FLOAT_DIGITS
+            ),
+            "stale_serve_rate_in_partition": round(
+                sum(r["stale_serve_rate_in_partition"] for r in rows)
+                / len(rows),
+                FLOAT_DIGITS,
+            ),
+            "mean_time_to_reconverge": round(
+                sum(r["mean_time_to_reconverge"] for r in rows) / len(rows),
+                FLOAT_DIGITS,
+            ),
+            "violations": sum(r["violations"] for r in rows),
+            "decisions": sum(r["decisions"] for r in rows),
+        }
+    return out
+
+
+def dominance_failures(aggregates: Dict[str, Dict[str, float]]) -> List[str]:
+    """The graceful-degradation guarantees, as a list of broken clauses."""
+    adaptive = aggregates["hysteresis"]
+    static = aggregates["static"]
+    failures = []
+    if adaptive["violations"] or static["violations"]:
+        failures.append(
+            f"campaign not violation-free: adaptive={adaptive['violations']} "
+            f"static={static['violations']}"
+        )
+    if adaptive["availability"] < static["availability"] - EPS_AVAILABILITY:
+        failures.append(
+            f"availability: adaptive {adaptive['availability']:.4f} < "
+            f"static {static['availability']:.4f} - {EPS_AVAILABILITY}"
+        )
+    if (
+        adaptive["stale_serve_rate_in_partition"]
+        > static["stale_serve_rate_in_partition"] + EPS_STALE_RATE
+    ):
+        failures.append(
+            "stale-serve-in-partition: adaptive "
+            f"{adaptive['stale_serve_rate_in_partition']:.4f} > static "
+            f"{static['stale_serve_rate_in_partition']:.4f} + {EPS_STALE_RATE}"
+        )
+    if (
+        adaptive["mean_time_to_reconverge"]
+        > static["mean_time_to_reconverge"] + EPS_RECONVERGE
+    ):
+        failures.append(
+            "mean-time-to-reconverge: adaptive "
+            f"{adaptive['mean_time_to_reconverge']:.2f}s > static "
+            f"{static['mean_time_to_reconverge']:.2f}s + {EPS_RECONVERGE}s"
+        )
+    if adaptive["decisions"] == 0:
+        failures.append("adaptive arm never actuated: the comparison is vacuous")
+    return failures
+
+
+def run_campaign(verbose: bool = True) -> Dict:
+    cells: List[Dict] = []
+    for plan_name in PLANS:
+        for spec in SPECS:
+            for seed in SEEDS:
+                for policy in POLICIES:
+                    cell = run_cell(plan_name, spec, seed, policy)
+                    cells.append(cell)
+                    if verbose:
+                        print(
+                            f"  {plan_name:12s} {spec:8s} seed{seed:3d} "
+                            f"{policy:10s} avail={cell['availability']:.4f} "
+                            f"stale@part={cell['stale_serve_rate_in_partition']:.4f} "
+                            f"mttr={cell['mean_time_to_reconverge']:6.2f}s "
+                            f"viol={cell['violations']} "
+                            f"dec={cell['decisions']}"
+                        )
+    aggregates = aggregate(cells)
+    return {
+        "matrix": {
+            "plans": list(PLANS),
+            "specs": list(SPECS),
+            "seeds": list(SEEDS),
+            "policies": list(POLICIES),
+        },
+        "cells": cells,
+        "aggregates": aggregates,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true",
+        help=f"write the artifact to {ARTIFACT.name}",
+    )
+    args = parser.parse_args(argv)
+    campaign = run_campaign()
+    aggregates = campaign["aggregates"]
+    for policy in POLICIES:
+        agg = aggregates[policy]
+        print(
+            f"{policy:10s} avail={agg['availability']:.4f} "
+            f"stale@part={agg['stale_serve_rate_in_partition']:.4f} "
+            f"mttr={agg['mean_time_to_reconverge']:6.2f}s "
+            f"violations={agg['violations']} decisions={agg['decisions']}"
+        )
+    failures = dominance_failures(aggregates)
+    for failure in failures:
+        print(f"DOMINANCE FAILURE: {failure}")
+    if args.write:
+        ARTIFACT.write_text(json.dumps(campaign, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {ARTIFACT}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,13 @@ file:
   per-pickle cache and through the columnar result store), gated against
   ``BENCH_campaign.json``; the store-vs-pickle speedup and the
   deterministic filesystem-write reduction land in the metadata, where
-  the committed-target tests hold them to >=5x and >=100x.
+  the committed-target tests hold them to >=5x and >=100x;
+* ``control`` — the online controller of ``bench_control.py`` (the same
+  chaos-scale run with no controller, with the no-op static policy
+  sampling every window, and with the hysteresis policy actuating under
+  the shipped partition plan), gated against ``BENCH_control.json``;
+  the observation and closed-loop overhead ratios land in the metadata,
+  where the pytest entry points hold the fault-free sampling cost to 5%.
 
 Usage::
 
@@ -84,7 +90,7 @@ from repro.net.topology import TopologySnapshot  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
 SUITES = ("kernel", "engine", "sweep", "trace", "topology", "faults",
-          "scale", "campaign")
+          "scale", "campaign", "control")
 
 #: Timing repetitions per suite (the best is kept).  The sweep campaign
 #: is seconds-per-iteration, so it repeats less than the ms-scale kernels;
@@ -93,7 +99,7 @@ SUITES = ("kernel", "engine", "sweep", "trace", "topology", "faults",
 #: benchmark that appears to regress).
 SUITE_REPEATS = {
     "kernel": 5, "engine": 5, "sweep": 2, "trace": 3, "topology": 3,
-    "faults": 3, "scale": 1, "campaign": 3,
+    "faults": 3, "scale": 1, "campaign": 3, "control": 3,
 }
 
 #: Suites whose benchmark callables time themselves and return seconds
@@ -219,6 +225,10 @@ def suite_benchmarks(
         from benchmarks.bench_campaign import campaign_benchmarks
 
         return campaign_benchmarks(workdir)
+    if suite == "control":
+        from benchmarks.bench_control import control_benchmarks
+
+        return control_benchmarks(workdir)
     raise ValueError(f"unknown suite {suite!r}")
 
 
@@ -386,6 +396,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from benchmarks.bench_campaign import campaign_speedups
 
             for name, value in campaign_speedups(results).items():
+                meta[name] = round(value, 3)
+                print(f"  {name:<24} {value:10.2f}x")
+        elif suite == "control":
+            from benchmarks.bench_control import control_overheads
+
+            for name, value in control_overheads(results).items():
                 meta[name] = round(value, 3)
                 print(f"  {name:<24} {value:10.2f}x")
 

@@ -154,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="deterministic fault plan to inject "
                             "(see docs/ROBUSTNESS.md; bypasses nothing — "
                             "the plan is part of the result-cache key)")
+        faulty.add_argument("--controller", metavar="NAME", default=None,
+                            help="online control policy adapting protocol "
+                            "parameters at run time (see 'repro list'; "
+                            "default: no controller)")
+        faulty.add_argument("--controller-interval", type=float, default=30.0,
+                            help="seconds between controller ticks "
+                            "(default 30)")
 
     sub.add_parser("table1", help="print Table 1")
     sub.add_parser("compare", help="all six strategies at Table-1 defaults")
@@ -207,6 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_parser.add_argument("--no-cache", action="store_true",
                                default=argparse.SUPPRESS,
                                help=argparse.SUPPRESS)
+    matrix_parser.add_argument("--controller", metavar="NAME", default=None,
+                               help="online control policy applied to every "
+                               "matrix point (base-config override; see "
+                               "'repro list')")
+    matrix_parser.add_argument("--controller-interval", type=float,
+                               default=30.0, help=argparse.SUPPRESS)
+    matrix_parser.add_argument("--check-invariants", action="store_true",
+                               help="run every point traced and serial, "
+                               "replay the consistency invariant checker "
+                               "over each event stream, and exit nonzero "
+                               "on any violation (bypasses the cache)")
 
     sub.add_parser(
         "list",
@@ -224,6 +242,9 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
         from repro.faults import FaultPlan
 
         extras["faults"] = FaultPlan.load(args.faults)
+    if getattr(args, "controller", None):
+        extras["controller"] = args.controller
+        extras["controller_interval"] = getattr(args, "controller_interval", 30.0)
     return SimulationConfig(
         sim_time=args.sim_time, warmup=args.warmup, seed=args.seed, **extras
     )
@@ -299,6 +320,7 @@ def _command_run(args: argparse.Namespace, executor: CampaignExecutor) -> None:
               f"{stats.get('incremental_updates', 0)} incremental "
               f"({stats.get('bfs_trees_retained', 0)} BFS trees retained)")
     _print_fault_stats(result)
+    _print_control_decisions(result)
 
 
 def _print_fault_stats(result) -> None:
@@ -315,6 +337,25 @@ def _print_fault_stats(result) -> None:
           f"mean time-to-reconverge "
           f"{stats.get('mean_time_to_reconverge', 0.0):.1f}s "
           f"over {stats.get('heals_observed', 0):.0f} heals")
+
+
+def _print_control_decisions(result) -> None:
+    """Controller footer: one line per applied decision (empty = silent)."""
+    decisions = getattr(result, "control_decisions", None)
+    if not decisions:
+        return
+    print(f"controller: {len(decisions)} decision(s) applied")
+    for decision in decisions:
+        knobs = ", ".join(
+            f"{knob}={value:g}"
+            for knob, value in sorted(decision["applied"].items())
+        )
+        if decision.get("modes"):
+            extra = f"; {decision['modes']} item mode(s)"
+        else:
+            extra = ""
+        print(f"  t={decision['time']:.0f}s [{decision['reason']}] "
+              f"{knobs}{extra}")
 
 
 def _run_profiled(
@@ -373,6 +414,7 @@ def _command_trace(args: argparse.Namespace) -> int:
     print(format_summary(result.summary, title=f"{args.spec} ({args.scenario})"))
     print(f"\ntrace: {events_written} events -> {args.out}")
     _print_fault_stats(result)
+    _print_control_decisions(result)
     if args.no_check:
         return 0
     # Reload from disk: the check exercises the full export -> import path.
@@ -474,7 +516,7 @@ def _command_all(args: argparse.Namespace, executor: CampaignExecutor) -> None:
         print()
 
 
-def _command_matrix(args: argparse.Namespace, executor: CampaignExecutor) -> None:
+def _command_matrix(args: argparse.Namespace, executor: CampaignExecutor) -> int:
     from repro.scenarios.matrix import (
         AGGREGATE_COLUMNS,
         aggregate_matrix,
@@ -487,7 +529,33 @@ def _command_matrix(args: argparse.Namespace, executor: CampaignExecutor) -> Non
     points = expand_matrix(matrix, base_config=_config(args))
     print(f"matrix {args.file}: {matrix.cells} cells, "
           f"{len(points)} unique points")
-    results = executor.run_many([point.task for point in points])
+    violations = 0
+    if getattr(args, "check_invariants", False):
+        # Checker gating needs the event stream, which the cache does not
+        # store: every point runs traced, serial and uncached.
+        from repro.obs import InvariantChecker, ListSink, TraceBus
+
+        from repro.experiments.runner import build_simulation
+
+        results = []
+        for point in points:
+            config, spec, scenario = point.task
+            bus = TraceBus()
+            sink = bus.add_sink(ListSink())
+            results.append(
+                build_simulation(config, spec, scenario, trace=bus).run()
+            )
+            bus.close()
+            report = InvariantChecker(delta=config.ttp).feed_all(
+                sink.events
+            ).finish()
+            if not report.ok:
+                violations += len(report.violations)
+                print(f"INVARIANT VIOLATIONS at {point.scenario}/"
+                      f"{point.strategy}/{point.policy}/seed{point.seed}:")
+                print(report.format())
+    else:
+        results = executor.run_many([point.task for point in points])
     rows = aggregate_matrix(points, results)
     display = [
         tuple(
@@ -501,10 +569,15 @@ def _command_matrix(args: argparse.Namespace, executor: CampaignExecutor) -> Non
         with open(args.csv, "w", encoding="utf-8", newline="") as handle:
             handle.write(matrix_csv(rows))
         print(f"wrote {args.csv}")
+    if getattr(args, "check_invariants", False):
+        status = "OK" if violations == 0 else f"{violations} violation(s)"
+        print(f"invariants: {status} across {len(points)} points")
+        return 1 if violations else 0
+    return 0
 
 
 def _command_list() -> None:
-    from repro.scenarios.registry import POLICIES, SCENARIOS
+    from repro.scenarios.registry import CONTROLLERS, POLICIES, SCENARIOS
 
     print("scenarios:")
     for name in SCENARIOS.names():
@@ -512,6 +585,9 @@ def _command_list() -> None:
         print(f"  {name:<18} {spec.description}")
     print("replacement policies:")
     for name in POLICIES.names():
+        print(f"  {name}")
+    print("control policies:")
+    for name in CONTROLLERS.names():
         print(f"  {name}")
     print("strategy specs:")
     for spec in STRATEGY_SPECS:
@@ -530,6 +606,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _command_trace(args)
     executor = _executor(args)
+    code = 0
     if args.command == "run":
         _command_run(args, executor)
     elif args.command == "compare":
@@ -537,13 +614,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig9":
         _command_fig9(args, executor)
     elif args.command == "matrix":
-        _command_matrix(args, executor)
+        code = _command_matrix(args, executor)
     elif args.command == "all":
         _command_all(args, executor)
     else:
         _command_figure(args, executor)
     _report_cache(executor)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

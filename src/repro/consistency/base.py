@@ -48,7 +48,7 @@ from repro.obs.events import (
     SourceUpdate,
 )
 from repro.peers.host import MobileHost
-from repro.sim.engine import EventHandle
+from repro.sim.engine import EventHandle, StartupBatch
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -112,7 +112,11 @@ class RetryBackoff:
 
     def delay(self, base: float, attempt: int, key: str) -> float:
         """Wait before retry number ``attempt`` (1 = the first try)."""
-        raw = min(self.cap, base * self.factor ** max(0, attempt - 1))
+        try:
+            raw = min(self.cap, base * self.factor ** max(0, attempt - 1))
+        except OverflowError:
+            # factor ** attempt left float range: the cap won long ago.
+            raw = self.cap if base > 0 else 0.0
         if self.jitter > 0:
             bucket = derive_seed(self.seed, f"backoff/{key}/{attempt}")
             unit = (bucket % (1 << self._JITTER_BITS)) / float(1 << self._JITTER_BITS)
@@ -330,8 +334,54 @@ class ConsistencyStrategy(abc.ABC):
     def make_agent(self, host: MobileHost) -> "BaseAgent":
         """Create and register the per-host agent."""
 
-    def start(self) -> None:
-        """Start run-global timers; called once before the run."""
+    def start(self, batch: Optional[StartupBatch] = None) -> None:
+        """Start run-global timers; called once before the run.
+
+        ``batch`` (when given) collects the initial timer filings for
+        one vectorized :meth:`~repro.sim.engine.Simulator.schedule_batch`
+        pass; subclasses must pass it through to every ``start`` they
+        delegate to.
+        """
+
+    # ------------------------------------------------------------------
+    # Online-control actuation seam (see repro.control)
+    # ------------------------------------------------------------------
+    def control_knobs(self) -> Dict[str, float]:
+        """Tunable parameters this strategy exposes to the online controller.
+
+        The mapping is the control policy's *baseline*: knob name mapped
+        to the value the strategy currently runs with.  Subclasses extend
+        it with the knobs they own (``ttn``, ``ttr``, ``ttp``,
+        ``poll_timeout``, ``relay_boost``); the base contributes
+        ``backoff_factor`` when a retry backoff is wired.
+        """
+        knobs: Dict[str, float] = {}
+        if self.context.backoff is not None:
+            knobs["backoff_factor"] = self.context.backoff.factor
+        return knobs
+
+    def apply_control(self, decision) -> Dict[str, float]:
+        """Apply a :class:`~repro.control.policies.ControlDecision`.
+
+        This is the only sanctioned run-time mutation point for protocol
+        parameters: strategies change the values their *future* timers,
+        windows and polls read — in-flight state (armed timeouts, open
+        TTR/TTP windows, queued polls) is never touched, so every
+        already-made freshness promise stays exactly as made.  Returns
+        the knobs actually changed (name mapped to the new value); knob
+        names a strategy does not own are ignored, so one decision can
+        span strategies.
+        """
+        applied: Dict[str, float] = {}
+        backoff = self.context.backoff
+        if backoff is not None:
+            factor = decision.knobs.get("backoff_factor")
+            if factor is not None:
+                factor = float(factor)
+                if factor >= 1.0 and factor != backoff.factor:
+                    backoff.factor = factor
+                    applied["backoff_factor"] = factor
+        return applied
 
     def remote_query_timeout(self) -> float:
         """How long a client waits for a holder's reply before retrying.

@@ -74,6 +74,23 @@ class PullStrategy(ConsistencyStrategy):
         """Clients must outwait the holder's full poll-and-retry cycle."""
         return self.max_poll_attempts * self.poll_timeout + 5.0
 
+    def control_knobs(self) -> Dict[str, float]:
+        knobs = super().control_knobs()
+        knobs["poll_timeout"] = self.poll_timeout
+        return knobs
+
+    def apply_control(self, decision) -> Dict[str, float]:
+        applied = super().apply_control(decision)
+        timeout = decision.knobs.get("poll_timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout > 0 and timeout != self.poll_timeout:
+                # Armed poll timeouts fire as scheduled; only polls sent
+                # after this point wait the new duration.
+                self.poll_timeout = timeout
+                applied["poll_timeout"] = timeout
+        return applied
+
     def make_agent(self, host: MobileHost) -> "PullAgent":
         return PullAgent(self, host)
 

@@ -82,10 +82,29 @@ class PushStrategy(ConsistencyStrategy):
         """Clients must outwait the holder's worst-case report wait."""
         return self.wait_factor * self.ttn + 10.0
 
+    def control_knobs(self) -> Dict[str, float]:
+        knobs = super().control_knobs()
+        knobs["ttn"] = self.ttn
+        return knobs
+
+    def apply_control(self, decision) -> Dict[str, float]:
+        applied = super().apply_control(decision)
+        ttn = decision.knobs.get("ttn")
+        if ttn is not None:
+            ttn = float(ttn)
+            if ttn > 0 and ttn != self.ttn:
+                self.ttn = ttn
+                # Each armed tick fires as scheduled; only the *next*
+                # re-arm reads the new interval (actuation-seam rule).
+                for timer in self._timers:
+                    timer.interval = ttn
+                applied["ttn"] = ttn
+        return applied
+
     def make_agent(self, host: MobileHost) -> "PushAgent":
         return PushAgent(self, host)
 
-    def start(self) -> None:
+    def start(self, batch=None) -> None:
         """Arm one staggered invalidation-report timer per source host."""
         for agent in self.agents.values():
             host = agent.host
@@ -98,7 +117,7 @@ class PushStrategy(ConsistencyStrategy):
                 agent.broadcast_report,  # type: ignore[attr-defined]
                 start_offset=offset if offset > 0 else self.ttn,
             )
-            timer.start()
+            timer.start(batch)
             self._timers.append(timer)
 
     def stop(self) -> None:

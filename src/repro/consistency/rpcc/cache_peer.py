@@ -99,12 +99,17 @@ class CachePeerSide:
         return 0.0 if timer is None else timer.remaining
 
     def renew_ttp(self, item_id: int) -> None:
-        """Open a fresh TTP window for ``item_id``."""
+        """Open a fresh TTP window for ``item_id``.
+
+        The duration is read from the live config at every renewal so a
+        controller-actuated TTP change applies to the *next* window while
+        windows already open keep the span they were granted.
+        """
         timer = self._ttp.get(item_id)
         if timer is None:
             timer = CountdownTimer(self.agent.context.sim, self.config.ttp)
             self._ttp[item_id] = timer
-        timer.renew()
+        timer.renew(self.config.ttp)
 
     def forget(self, item_id: int) -> None:
         """Drop TTP and relay-memory state for an evicted item."""

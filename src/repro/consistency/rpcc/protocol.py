@@ -16,7 +16,8 @@ to relay.  Demotion happens when coefficients fail at a period boundary
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import replace as dataclass_replace
+from typing import Dict, Optional
 
 from repro.cache.item import CachedCopy, MasterCopy
 from repro.consistency.base import (
@@ -59,6 +60,12 @@ class RPCCStrategy(ConsistencyStrategy):
     def __init__(self, context: StrategyContext, config: Optional[RPCCConfig] = None) -> None:
         super().__init__(context)
         self.config = config if config is not None else RPCCConfig()
+        # Online-control state: per-item dissemination overrides (empty
+        # means the stock hybrid behaviour everywhere) and the eligibility
+        # boost applied on top of the configured selection thresholds.
+        self._modes: Dict[int, str] = {}
+        self._base_thresholds = self.config.thresholds
+        self._relay_boost = 1.0
 
     def make_agent(self, host: MobileHost) -> "RPCCAgent":
         return RPCCAgent(self, host)
@@ -73,11 +80,88 @@ class RPCCStrategy(ConsistencyStrategy):
         )
         return pipeline + 5.0
 
-    def start(self) -> None:
+    def start(self, batch=None) -> None:
         """Arm every source host's TTN timer."""
         for agent in self.agents.values():
             assert isinstance(agent, RPCCAgent)
-            agent.source.start()
+            agent.source.start(batch)
+
+    # ------------------------------------------------------------------
+    # Online-control actuation seam (see repro.control)
+    # ------------------------------------------------------------------
+    def dissemination_mode(self, item_id: int) -> str:
+        """Controller-selected dissemination mode for ``item_id``.
+
+        ``"hybrid"`` (the default, and the only value when no controller
+        runs) is the stock RPCC behaviour: updates batched until the next
+        TTN report, invalidations flooded.  ``"push"`` additionally
+        unicasts UPDATE to the relay set the moment the source commits a
+        write; ``"pull"`` suppresses the batched content push (relays
+        re-sync via GET_NEW after the invalidation) for update-heavy
+        items where pushed content would mostly be dead on arrival.
+        """
+        return self._modes.get(item_id, "hybrid")
+
+    def control_knobs(self) -> Dict[str, float]:
+        knobs = super().control_knobs()
+        config = self.config
+        knobs["ttr"] = config.ttr
+        knobs["ttp"] = config.ttp
+        knobs["poll_timeout"] = config.poll_timeout
+        knobs["relay_boost"] = self._relay_boost
+        return knobs
+
+    def apply_control(self, decision) -> Dict[str, float]:
+        applied = super().apply_control(decision)
+        config = self.config
+        for knob in ("ttr", "ttp", "poll_timeout"):
+            value = decision.knobs.get(knob)
+            if value is None:
+                continue
+            value = float(value)
+            if value <= 0 or value == getattr(config, knob):
+                continue
+            # Open windows and armed ladders keep the duration they were
+            # granted; only windows opened from now on use the new value.
+            setattr(config, knob, value)
+            applied[knob] = value
+        if "ttp" in applied:
+            # Δ is knowledge-relative: reads validated under the old TTP
+            # are audited against the bound in force when the knowledge
+            # was acquired (the checker keeps the actuation timeline),
+            # while fresh audits follow the new bound.
+            self.context.delta = config.ttp
+        boost = decision.knobs.get("relay_boost")
+        if boost is not None:
+            boost = float(boost)
+            if boost > 0 and boost != self._relay_boost:
+                self._relay_boost = boost
+                base = self._base_thresholds
+                # Eq 4.2.8 gates on car < mu_car, cs > mu_cs, ce > mu_ce:
+                # boost > 1 widens all three gates so more peers qualify.
+                config.thresholds = dataclass_replace(
+                    base,
+                    mu_car=min(1.0, base.mu_car * boost),
+                    mu_cs=max(1e-9, base.mu_cs / boost),
+                    mu_ce=max(1e-9, base.mu_ce / boost),
+                )
+                applied["relay_boost"] = boost
+        if decision.modes:
+            changed = 0
+            for item_id, mode in decision.modes.items():
+                if mode not in ("push", "pull", "hybrid"):
+                    continue
+                current = self._modes.get(item_id, "hybrid")
+                if mode == current:
+                    continue
+                if mode == "hybrid":
+                    self._modes.pop(item_id, None)
+                else:
+                    self._modes[item_id] = mode
+                changed += 1
+            if changed:
+                applied["_modes"] = changed
+        return applied
 
     # ------------------------------------------------------------------
     # Fleet-wide introspection (drives Fig 9 and the relay-count metric)

@@ -53,12 +53,17 @@ class RelaySide:
         return 0.0 if timer is None else timer.remaining
 
     def renew_ttr(self, item_id: int) -> None:
-        """Open a fresh TTR window for ``item_id``."""
+        """Open a fresh TTR window for ``item_id``.
+
+        The duration is read from the live config at every renewal so a
+        controller-actuated TTR change applies to the *next* window while
+        windows already open keep the span they were granted.
+        """
         timer = self._ttr.get(item_id)
         if timer is None:
             timer = CountdownTimer(self.agent.context.sim, self.config.ttr)
             self._ttr[item_id] = timer
-        timer.renew()
+        timer.renew(self.config.ttr)
 
     def forget(self, item_id: int) -> None:
         """Drop all relay state for ``item_id`` (demotion or eviction)."""

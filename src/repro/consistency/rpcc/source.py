@@ -51,7 +51,7 @@ class SourceSide:
     # ------------------------------------------------------------------
     # Timer
     # ------------------------------------------------------------------
-    def start(self) -> None:
+    def start(self, batch=None) -> None:
         """Arm the TTN timer (staggered deterministically per host)."""
         if self.agent.host.source_item is None or self._timer is not None:
             return
@@ -62,7 +62,7 @@ class SourceSide:
             self._on_ttn,
             start_offset=offset if offset > 0 else self.config.ttn,
         )
-        self._timer.start()
+        self._timer.start(batch)
 
     def stop(self) -> None:
         """Disarm the TTN timer."""
@@ -70,13 +70,26 @@ class SourceSide:
             self._timer.stop()
             self._timer = None
 
+    def _mode(self, item_id: int) -> str:
+        """Controller-selected dissemination mode (``"hybrid"`` when none)."""
+        strategy = self.agent.strategy
+        mode = getattr(strategy, "dissemination_mode", None)
+        return mode(item_id) if mode is not None else "hybrid"
+
     def _on_ttn(self) -> None:
         """Fig 6(b) lines 1-8: push batched UPDATE, then flood INVALIDATION."""
         master = self.agent.host.source_item
         if master is None or not self.agent.host.online:
             return
         if master.version > self._last_pushed_version:
-            self._push_update(master)
+            # In controller-selected "pull" mode the batched content push
+            # is suppressed (relays re-sync via GET_NEW); the
+            # INVALIDATION flood below is NEVER suppressed — it is what
+            # keeps every freshness contract sound.
+            if self._mode(master.item_id) == "pull":
+                self._last_pushed_version = master.version
+            else:
+                self._push_update(master)
         invalidation = Invalidation(
             sender=self.agent.node_id, item_id=master.item_id, version=master.version
         )
@@ -157,8 +170,10 @@ class SourceSide:
             self._schedule_repush(version, still_unreachable, attempt + 1)
 
     def on_local_update(self, master: MasterCopy) -> None:
-        """Optionally push the update immediately (ablation flag)."""
-        if self.config.immediate_update_push and self.agent.host.online:
+        """Push the update immediately (ablation flag, or per-item "push" mode)."""
+        if not self.agent.host.online:
+            return
+        if self.config.immediate_update_push or self._mode(master.item_id) == "push":
             self._push_update(master)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Adaptive self-tuning control loop (the ROADMAP's chaos milestone).
+
+``repro.control`` closes the loop between the observability/fault layers
+and the protocol parameters: an :class:`~repro.control.controller.OnlineController`
+periodically samples windowed signals (query/update rates, coefficient
+tracker outputs, churn/partition events, degradation availability and
+stale-serve rate), hands them to a registered
+:class:`~repro.control.policies.ControlPolicy`, and applies the resulting
+:class:`~repro.control.policies.ControlDecision` through explicit
+actuation seams on the consistency strategies.
+
+Design invariants:
+
+* ``controller=None`` (the default) constructs nothing from this package
+  — runs are bit-identical to a build without it;
+* all controller randomness comes from the named ``"controller"`` RNG
+  stream;
+* actuations only ever affect *future* protocol state (new freshness
+  windows, the next timer re-arm, the next poll) — in-flight state is
+  never mutated;
+* every actuation is a typed trace event, so the invariant checker can
+  re-evaluate the Δ contract at the actuation boundary.
+"""
+
+from repro.control.controller import OnlineController
+from repro.control.policies import (
+    ControlDecision,
+    ControlPolicy,
+    HysteresisPolicy,
+    StaticPolicy,
+)
+from repro.control.signals import ControlSignals, DeltaTracker
+
+__all__ = [
+    "OnlineController",
+    "ControlDecision",
+    "ControlPolicy",
+    "ControlSignals",
+    "DeltaTracker",
+    "HysteresisPolicy",
+    "StaticPolicy",
+]

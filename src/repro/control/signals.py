@@ -1,0 +1,85 @@
+"""Windowed observation signals for the online controller.
+
+The controller is strictly *pull-based*: at every tick it snapshots the
+metrics layer (latency recorder, staleness auditor, fault counters, the
+:class:`~repro.metrics.degradation.DegradationMeter` when chaos is on)
+and the peer coefficient trackers, and derives per-window deltas from
+the cumulative values.  Nothing in the hot path pushes to the
+controller, so ``controller=None`` leaves every message/timer/metrics
+code path untouched.
+
+Warm-up resets are tolerated the same way the traffic sampler tolerates
+them: a cumulative counter that appears to have gone *backwards* was
+reset, and the post-reset total is the whole window's delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["ControlSignals", "DeltaTracker"]
+
+
+@dataclass(frozen=True)
+class ControlSignals:
+    """One sliding-window observation snapshot handed to a policy.
+
+    All ``*_delta`` style fields count events inside the window that
+    ended at :attr:`time`; rates are per simulated second over
+    :attr:`window` seconds.
+    """
+
+    time: float
+    #: Seconds covered by this window (time since the previous sample).
+    window: float
+    #: Queries issued / answered inside the window.
+    queries: int = 0
+    answers: int = 0
+    #: ``answers / queries`` for the window (1.0 when no queries landed).
+    availability: float = 1.0
+    #: Arrival rates per simulated second.
+    query_rate: float = 0.0
+    update_rate: float = 0.0
+    #: Stale serves inside the window and their fraction of audited reads.
+    stale_reads: int = 0
+    stale_rate: float = 0.0
+    #: RPCC poll-ladder exhaustions (forced stale fallbacks) in the window.
+    forced_stale: int = 0
+    #: Fault-layer state: partitions open *now*, and window event counts.
+    partitions_active: int = 0
+    partitions_started: int = 0
+    partitions_healed: int = 0
+    crashes: int = 0
+    #: Relay overlay size (RPCC only; 0 for push/pull).
+    relay_count: int = 0
+    #: Mean selection coefficients across online hosts (Section 4.2).
+    mean_car: float = 0.0
+    mean_cs: float = 0.0
+    mean_ce: float = 0.0
+    #: DegradationMeter snapshot (empty when no fault plan is attached).
+    degradation: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Cheap composite: is the system visibly under stress right now?"""
+        return self.partitions_active > 0 or self.crashes > 0
+
+
+class DeltaTracker:
+    """Derives per-window deltas from monotone cumulative counters.
+
+    ``take(name, total)`` returns ``total - previous_total`` and
+    remembers ``total``.  A negative raw delta means the underlying
+    counter was reset (warm-up boundary): the post-reset total *is* the
+    window's delta.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[str, float] = {}
+
+    def take(self, name: str, total: float) -> float:
+        previous = self._last.get(name, 0.0)
+        self._last[name] = total
+        delta = total - previous
+        return total if delta < 0 else delta

@@ -126,6 +126,12 @@ class SimulationConfig:
     backoff_factor: float = 2.0
     backoff_cap: float = 60.0
     backoff_jitter: float = 0.1
+    # Online control policy name (see repro.control CONTROLLERS); None
+    # (default) constructs no controller at all — bit-identical with
+    # pre-controller builds.
+    controller: Optional[str] = None
+    # Seconds between controller sampling/decision ticks.
+    controller_interval: float = 30.0
 
     def __post_init__(self) -> None:
         positives: Tuple[Tuple[str, float], ...] = (
@@ -224,6 +230,21 @@ class SimulationConfig:
         if not 0.0 <= self.backoff_jitter < 1.0:
             raise ConfigurationError(
                 f"backoff_jitter must be in [0, 1), got {self.backoff_jitter!r}"
+            )
+        if self.controller is not None:
+            # Same eager validation (and the same lazy-import reason) as
+            # replacement_policy above.
+            from repro.scenarios.registry import CONTROLLERS
+
+            if self.controller not in CONTROLLERS:
+                raise ConfigurationError(
+                    f"unknown controller {self.controller!r}; "
+                    f"choose from {CONTROLLERS.names()}"
+                )
+        if self.controller_interval <= 0:
+            raise ConfigurationError(
+                f"controller_interval must be positive, "
+                f"got {self.controller_interval!r}"
             )
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":

@@ -63,7 +63,7 @@ __all__ = [
 #: Bump whenever a change alters what a cached result means (new metrics,
 #: changed simulation semantics, different pickle layout): old entries
 #: then miss instead of resurfacing stale numbers.
-CACHE_FORMAT_VERSION = 5  # v5: replacement_policy/access_pattern/hot_set config fields join the key
+CACHE_FORMAT_VERSION = 6  # v6: controller/controller_interval config fields join the key
 
 #: Where the CLI keeps its cache unless told otherwise.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")

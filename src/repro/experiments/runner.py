@@ -43,6 +43,7 @@ from repro.consistency.base import (
 from repro.consistency.pull import PullStrategy
 from repro.consistency.push import PushStrategy
 from repro.consistency.rpcc import RPCCConfig, RPCCStrategy
+from repro.control import OnlineController
 from repro.energy.battery import Battery
 from repro.errors import ConfigurationError
 from repro.experiments.config import SimulationConfig
@@ -62,8 +63,8 @@ from repro.net.routing import CachingRouter, ShortestPathRouter
 from repro.peers.coefficients import CoefficientTracker
 from repro.peers.host import MobileHost
 from repro.peers.switching import SwitchingProcess
-from repro.scenarios.registry import STRATEGIES, register_strategy
-from repro.sim.engine import Simulator
+from repro.scenarios.registry import CONTROLLERS, STRATEGIES, register_strategy
+from repro.sim.engine import Simulator, StartupBatch
 from repro.sim.rng import RandomStreams
 from repro.sim.timers import PeriodicTimer
 from repro.workload.access import (
@@ -134,6 +135,9 @@ class SimulationResult:
     #: struct-of-arrays fast path) or ``"scalar"``.  Both produce
     #: bit-identical results; the field only records which one ran.
     core: str = "scalar"
+    #: Applied online-control decisions in order (empty without a
+    #: controller): ``{"time", "policy", "reason", "applied", "modes"}``.
+    control_decisions: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def transmissions_per_minute(self) -> float:
@@ -166,6 +170,7 @@ class Simulation:
         update_workload: UpdateWorkload,
         query_workload: QueryWorkload,
         single_source_item: Optional[int] = None,
+        controller: Optional[OnlineController] = None,
     ) -> None:
         self.spec = spec
         self.scenario = scenario
@@ -179,6 +184,7 @@ class Simulation:
         self.update_workload = update_workload
         self.query_workload = query_workload
         self.single_source_item = single_source_item
+        self.controller = controller
         self._relay_samples: List[Tuple[float, int]] = []
         self._traffic_series = TimeSeries("transmissions")
         self._last_tx_total = 0
@@ -191,18 +197,28 @@ class Simulation:
         """
         measured = self.config.sim_time if until is None else float(until)
         started = time.perf_counter()
-        self.strategy.start()
-        self.update_workload.start()
-        self.query_workload.start()
+        # Collect every startup arm (one TTN timer, two arrival streams,
+        # one period timer and one switching process per host) and file
+        # them in a single vectorized pass.  add-order == the historical
+        # per-call schedule order and nothing else schedules before the
+        # flush, so sequence numbers — and hence the event stream — are
+        # bit-identical to the unbatched path.
+        batch = StartupBatch()
+        self.strategy.start(batch)
+        self.update_workload.start(batch)
+        self.query_workload.start(batch)
         for host in self.hosts.values():
-            host.start_period_timer()
+            host.start_period_timer(batch)
             if host.switching is not None:
-                host.switching.start()
+                host.switching.start(batch)
         if isinstance(self.strategy, RPCCStrategy):
             sampler = PeriodicTimer(self.sim, 60.0, self._sample_relays)
-            sampler.start()
+            sampler.start(batch)
         traffic_sampler = PeriodicTimer(self.sim, 60.0, self._sample_traffic)
-        traffic_sampler.start()
+        traffic_sampler.start(batch)
+        if self.controller is not None:
+            self.controller.start(batch)
+        batch.flush(self.sim)
         if self.config.warmup > 0:
             self.sim.run_until(self.config.warmup)
             self.metrics.reset()
@@ -230,6 +246,11 @@ class Simulation:
             topology_stats=self.network.topology.stats(),
             fault_stats=dict(summary.fault_stats),
             core=self.network.core,
+            control_decisions=(
+                list(self.controller.decisions)
+                if self.controller is not None
+                else []
+            ),
         )
 
     def _sample_traffic(self) -> None:
@@ -468,6 +489,7 @@ def build_simulation(
         mean_interval=config.query_interval,
         restrict_to_items=restrict,
     )
+    injector: Optional[FaultInjector] = None
     if plan is not None:
         injector = FaultInjector(
             plan,
@@ -483,6 +505,20 @@ def build_simulation(
         )
         network.faults = injector
         injector.start()
+    controller: Optional[OnlineController] = None
+    if config.controller is not None:
+        # Constructed last so the "controller" RNG stream is derived only
+        # when a controller actually runs: controller=None draws the
+        # exact pre-controller random sequences.
+        controller = OnlineController(
+            CONTROLLERS.get(config.controller)(),
+            strategy,
+            metrics,
+            streams,
+            hosts=hosts.values(),
+            injector=injector,
+            interval=config.controller_interval,
+        )
     return Simulation(
         spec=spec,
         scenario=scenario,
@@ -496,6 +532,7 @@ def build_simulation(
         update_workload=update_workload,
         query_workload=query_workload,
         single_source_item=single_item,
+        controller=controller,
     )
 
 

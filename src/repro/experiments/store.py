@@ -277,6 +277,8 @@ class RunRecord:
             dict(self.topology_stats),
             dict(self.fault_stats),
             self.core,
+            # control_decisions is not persisted (trace-level detail, like
+            # the config): a store round trip rebuilds it empty.
         )
 
 
@@ -305,6 +307,7 @@ _RESULT_FIELD_ORDER = (
     "total_updates", "relay_samples", "traffic_series",
     "energy_consumed", "mean_battery_fraction", "wall_clock_seconds",
     "events_processed", "topology_stats", "fault_stats", "core",
+    "control_decisions",
 )
 _RESULT_ORDER_CHECKED = False
 

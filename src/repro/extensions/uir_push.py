@@ -63,7 +63,7 @@ class UIRPushStrategy(PushStrategy):
     def make_agent(self, host: MobileHost) -> "UIRPushAgent":
         return UIRPushAgent(self, host)
 
-    def start(self) -> None:
+    def start(self, batch=None) -> None:
         """Arm one staggered sub-interval timer per source host."""
         for agent in self.agents.values():
             host = agent.host
@@ -76,7 +76,7 @@ class UIRPushStrategy(PushStrategy):
                 agent.broadcast_sub_report,  # type: ignore[attr-defined]
                 start_offset=offset if offset > 0 else self.sub_interval,
             )
-            timer.start()
+            timer.start(batch)
             self._timers.append(timer)
 
 

@@ -47,6 +47,9 @@ class StalenessTracker:
         self._superseded: Dict[int, Dict[int, float]] = {}
         self._current: Dict[int, int] = {}
         self._audits: List[ReadAudit] = []
+        #: Cumulative count of master-copy updates seen (never reset —
+        #: the online controller derives per-window update rates from it).
+        self.updates_recorded = 0
 
     # ------------------------------------------------------------------
     # Ground truth feed
@@ -56,6 +59,7 @@ class StalenessTracker:
         previous = self._current.get(item_id, new_version - 1)
         self._superseded.setdefault(item_id, {})[previous] = now
         self._current[item_id] = new_version
+        self.updates_recorded += 1
 
     def current_version(self, item_id: int) -> int:
         """Latest version this tracker has seen for ``item_id``."""

@@ -19,7 +19,15 @@ node *provably knew*:
 **delta** (eq 3.2.2)
     A validated Δ read may lag, but not beyond Δ: if the node learned of
     a newer version more than ``delta + slack`` seconds before the
-    serve, the Δ contract is broken.
+    serve, the Δ contract is broken.  When the online controller actuates
+    Δ mid-run (``controller_actuated`` events with ``knob == "ttp"``),
+    the contract is re-evaluated at each actuation boundary: knowledge
+    learned while an *older, longer* window could still legitimately be
+    open keeps the old bound until those windows drain (a window opened
+    just before the actuation at bound ``δ_old`` may serve until
+    ``actuation_time + δ_old``), while a *raised* Δ takes effect
+    immediately.  A controller that only ever lowers Δ therefore can
+    never retroactively create violations.
 
 **weak** (eq 3.2.3)
     A weak read returns "some previous correct value"; per (node, item)
@@ -48,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.obs.events import (
+    ControllerActuated,
     FaultNodeCrashed,
     InvalidationReceived,
     ReadServed,
@@ -146,6 +155,10 @@ class InvariantChecker:
         # (node, item) -> last version served from the node's own copy
         self._last_local: Dict[Tuple[int, int], int] = {}
         self._last_time = float("-inf")
+        # Δ actuation timeline: (effective_from, bound) pairs in time
+        # order, seeded with the configured Δ from the dawn of time.
+        # Grown by controller_actuated events with knob "ttp"/"delta".
+        self._delta_schedule: List[Tuple[float, float]] = [(float("-inf"), self.delta)]
 
     # ------------------------------------------------------------------
     # Feeding
@@ -168,6 +181,8 @@ class InvariantChecker:
             self._learn(event.node, event.item, event.version, event.time)
         elif isinstance(event, FaultNodeCrashed):
             self._on_crash(event)
+        elif isinstance(event, ControllerActuated):
+            self._on_actuation(event)
 
     def feed_all(self, events: Iterable[Union[TraceEvent, Dict]]) -> "InvariantChecker":
         """Feed a whole trace; returns ``self`` for chaining."""
@@ -197,6 +212,15 @@ class InvariantChecker:
 
     def _on_invalidation(self, event: InvalidationReceived) -> None:
         self._learn(event.node, event.item, event.version, event.time)
+
+    def _on_actuation(self, event: ControllerActuated) -> None:
+        """Record a Δ change on the actuation timeline (other knobs are
+        observability-only for the checker)."""
+        if event.knob not in ("ttp", "delta"):
+            return
+        bound = float(event.value)
+        if bound > 0:
+            self._delta_schedule.append((event.time, bound))
 
     def _on_crash(self, event: FaultNodeCrashed) -> None:
         """A cache-wiped crash erases what the node can be held to.
@@ -245,7 +269,9 @@ class InvariantChecker:
         if read.level == "strong":
             self._check_floor(read, "strong", self.slack)
         elif read.level == "delta":
-            self._check_floor(read, "delta", self.delta + self.slack)
+            # allowance=None: resolved per knowledge instant against the
+            # Δ actuation timeline inside _check_floor.
+            self._check_floor(read, "delta", None)
 
     def _check_weak_monotone(self, read: ReadServed) -> None:
         """Versions served from a node's own copy never go backwards."""
@@ -265,8 +291,13 @@ class InvariantChecker:
         if last is None or read.version > last:
             self._last_local[key] = read.version
 
-    def _check_floor(self, read: ReadServed, invariant: str, allowance: float) -> None:
-        """Did the node *know* of a newer version ``allowance`` seconds ago?"""
+    def _check_floor(self, read: ReadServed, invariant: str, allowance) -> None:
+        """Did the node *know* of a newer version ``allowance`` seconds ago?
+
+        ``allowance=None`` selects the Δ contract: the bound is resolved
+        against the actuation timeline for the instant the knowledge was
+        delivered (plus ``slack``).
+        """
         known = self._known.get((read.node, read.item))
         if known is None:
             return
@@ -276,6 +307,8 @@ class InvariantChecker:
         if index >= len(versions):
             return  # nothing newer was ever delivered to this node
         knew_at = times[index]
+        if allowance is None:
+            allowance = self._delta_allowance(knew_at) + self.slack
         lag = read.time - knew_at
         if lag > allowance + _TIME_EPSILON:
             self._violate(
@@ -287,6 +320,32 @@ class InvariantChecker:
                 f"node learned of v{versions[index]} at t={knew_at:.3f} "
                 f"({lag:.3f}s before the serve; allowance {allowance:.3f}s)",
             )
+
+    def _delta_allowance(self, knew_at: float) -> float:
+        """The Δ bound applicable to knowledge delivered at ``knew_at``.
+
+        A freshness window opened at ``t_w`` under bound ``δ_j`` may
+        legitimately serve until ``t_w + δ_j``; knowledge delivered at
+        ``knew_at`` can therefore lag by at most ``δ_j`` for *any*
+        actuation interval ``[a_j, a_{j+1})`` whose windows could still
+        be open at ``knew_at`` — i.e. ``a_j <= knew_at < a_{j+1} + δ_j``.
+        The applicable bound is the maximum over those intervals: a
+        lowered Δ takes over only once the pre-actuation windows have
+        drained, a raised Δ applies immediately.  With no actuations this
+        is exactly the configured Δ.
+        """
+        schedule = self._delta_schedule
+        if len(schedule) == 1:
+            return self.delta
+        best = 0.0
+        for j, (start, bound) in enumerate(schedule):
+            if j + 1 < len(schedule):
+                end = schedule[j + 1][0] + bound
+            else:
+                end = float("inf")
+            if start <= knew_at < end and bound > best:
+                best = bound
+        return best
 
     def _violate(
         self,

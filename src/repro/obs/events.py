@@ -25,6 +25,8 @@ fault injection        :class:`FaultPartitionStarted`,
                        :class:`FaultNodeCrashed`,
                        :class:`FaultNodeRebooted`,
                        :class:`FaultRelayKilled`
+adaptive control       :class:`ControllerSampled`,
+                       :class:`ControllerActuated`
 bookkeeping            :class:`MetricsReset`
 =====================  =============================================
 """
@@ -59,6 +61,8 @@ __all__ = [
     "FaultNodeCrashed",
     "FaultNodeRebooted",
     "FaultRelayKilled",
+    "ControllerSampled",
+    "ControllerActuated",
     "MetricsReset",
     "EVENT_TYPES",
     "event_from_dict",
@@ -312,6 +316,37 @@ class FaultRelayKilled(TraceEvent):
 
 
 @dataclasses.dataclass
+class ControllerSampled(TraceEvent):
+    """The online controller took one observation window."""
+
+    etype: ClassVar[str] = "controller_sampled"
+    policy: str = ""
+    availability: float = 1.0
+    stale_rate: float = 0.0
+    query_rate: float = 0.0
+    update_rate: float = 0.0
+    partitions: int = 0
+    relays: int = 0
+
+
+@dataclasses.dataclass
+class ControllerActuated(TraceEvent):
+    """The controller changed one protocol knob at the actuation boundary.
+
+    The invariant checker consumes ``knob == "ttp"`` events to move its
+    knowledge-relative Δ contract: freshness windows opened *before* the
+    actuation keep the old bound until they drain, windows opened after
+    it are held to ``value``.
+    """
+
+    etype: ClassVar[str] = "controller_actuated"
+    policy: str = ""
+    knob: str = ""
+    value: float = 0.0
+    reason: str = ""
+
+
+@dataclasses.dataclass
 class MetricsReset(TraceEvent):
     """The warm-up window closed; metrics were reset."""
 
@@ -342,6 +377,8 @@ EVENT_TYPES: Dict[str, type] = {
         FaultNodeCrashed,
         FaultNodeRebooted,
         FaultRelayKilled,
+        ControllerSampled,
+        ControllerActuated,
         MetricsReset,
     )
 }

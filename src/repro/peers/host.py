@@ -32,7 +32,7 @@ from repro.net.message import Message
 from repro.net.node import NetworkNode
 from repro.peers.coefficients import CoefficientTracker
 from repro.peers.switching import SwitchingProcess
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, StartupBatch
 from repro.sim.timers import PeriodicTimer
 
 __all__ = ["MobileHost"]
@@ -208,13 +208,13 @@ class MobileHost(NetworkNode):
     # ------------------------------------------------------------------
     # Coefficient period upkeep
     # ------------------------------------------------------------------
-    def start_period_timer(self) -> None:
+    def start_period_timer(self, batch: Optional[StartupBatch] = None) -> None:
         """Begin closing coefficient periods every ``tracker.phi`` seconds."""
         if self._period_timer is not None:
             return
         self._period_started_at = self.sim.now
         self._period_timer = PeriodicTimer(self.sim, self.tracker.phi, self._close_period)
-        self._period_timer.start()
+        self._period_timer.start(batch)
 
     def stop_period_timer(self) -> None:
         """Stop coefficient-period roll-over."""

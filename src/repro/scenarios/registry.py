@@ -26,9 +26,11 @@ __all__ = [
     "STRATEGIES",
     "POLICIES",
     "SCENARIOS",
+    "CONTROLLERS",
     "register_strategy",
     "register_policy",
     "register_scenario",
+    "register_controller",
 ]
 
 
@@ -132,6 +134,10 @@ POLICIES = Registry("replacement policy", loader="repro.cache.replacement")
 #: Scenario presets; entries are :class:`~repro.scenarios.spec.ScenarioSpec`.
 SCENARIOS = Registry("scenario", loader="repro.scenarios.catalog")
 
+#: Online control policies for the adaptive controller; entries are
+#: ``factory() -> ControlPolicy`` (fresh instance per simulation).
+CONTROLLERS = Registry("control policy", loader="repro.control.policies")
+
 
 def register_strategy(name: str) -> Callable[[Any], Any]:
     """Decorator: register a strategy factory ``(context, config) -> strategy``."""
@@ -146,3 +152,8 @@ def register_policy(name: str) -> Callable[[Any], Any]:
 def register_scenario(spec: Any) -> Any:
     """Register a :class:`ScenarioSpec` under its own ``name`` field."""
     return SCENARIOS.register(spec.name, spec)
+
+
+def register_controller(name: str) -> Callable[[Any], Any]:
+    """Decorator: register a control-policy factory ``() -> ControlPolicy``."""
+    return CONTROLLERS.register(name)

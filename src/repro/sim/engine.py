@@ -52,7 +52,7 @@ from typing import Any, Callable, Iterable, List, Optional
 from repro.errors import SchedulingError, SimulationError
 from repro.obs.bus import NULL_TRACE
 
-__all__ = ["EventHandle", "Simulator"]
+__all__ = ["EventHandle", "Simulator", "StartupBatch"]
 
 _floor = math.floor
 _heappush = heapq.heappush
@@ -789,3 +789,64 @@ class Simulator:
             f"Simulator(now={self._now:.3f}, pending={self.pending_events}, "
             f"processed={self._events_processed})"
         )
+
+
+class StartupBatch:
+    """Collector that turns many startup ``schedule`` calls into one batch.
+
+    Simulation start-up arms tens of thousands of timers and arrival
+    processes (one TTN timer, one query stream, one update stream, one
+    coefficient-period timer and one switching process per host).  Each
+    producer calling :meth:`Simulator.schedule` individually pays the
+    per-call filing overhead; collecting the ``(delay, callback, args)``
+    triples here and flushing them through
+    :meth:`Simulator.schedule_batch` files them in one vectorized pass.
+
+    Determinism contract: entries are filed in :meth:`add` order and
+    :meth:`Simulator.schedule_batch` assigns sequence numbers in
+    iteration order, so as long as callers ``add`` in the exact order
+    they previously called ``schedule`` — and nothing else schedules
+    between the first ``add`` and the :meth:`flush` — the resulting
+    event stream is bit-identical to the unbatched path.  Producers that
+    need their :class:`EventHandle` back (timers re-arm through it) pass
+    an ``adopt`` callable, invoked with the handle at flush time.
+
+    A batch is single-shot: flush it exactly once, before any of its
+    producers can observe their handle.
+    """
+
+    __slots__ = ("_entries", "_adopters", "flushed")
+
+    def __init__(self) -> None:
+        self._entries: List[tuple] = []
+        self._adopters: List[Optional[Callable[[EventHandle], None]]] = []
+        self.flushed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        adopt: Optional[Callable[[EventHandle], None]] = None,
+    ) -> None:
+        """Queue one event; ``adopt`` receives its handle at flush time."""
+        if self.flushed:
+            raise SchedulingError("StartupBatch already flushed")
+        self._entries.append((delay, callback, args))
+        self._adopters.append(adopt)
+
+    def flush(self, sim: Simulator) -> List[EventHandle]:
+        """File every queued event in one :meth:`Simulator.schedule_batch`."""
+        if self.flushed:
+            raise SchedulingError("StartupBatch already flushed")
+        self.flushed = True
+        handles = sim.schedule_batch(self._entries)
+        for handle, adopt in zip(handles, self._adopters):
+            if adopt is not None:
+                adopt(handle)
+        self._entries = []
+        self._adopters = []
+        return handles

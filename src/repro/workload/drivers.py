@@ -13,6 +13,7 @@ from typing import Iterable, List, Optional
 
 from repro.consistency.base import ConsistencyStrategy
 from repro.peers.host import MobileHost
+from repro.sim.engine import StartupBatch
 from repro.sim.rng import RandomStreams
 from repro.workload.access import AccessPattern
 from repro.workload.arrivals import ExponentialProcess
@@ -42,10 +43,10 @@ class UpdateWorkload:
             )
             self._processes.append(process)
 
-    def start(self) -> None:
+    def start(self, batch: Optional[StartupBatch] = None) -> None:
         """Begin every host's update stream."""
         for process in self._processes:
-            process.start()
+            process.start(batch)
 
     def stop(self) -> None:
         """Halt every host's update stream."""
@@ -102,10 +103,10 @@ class QueryWorkload:
         agent = self._strategy.agent_for(host.node_id)
         agent.local_query(item_id, level)
 
-    def start(self) -> None:
+    def start(self, batch: Optional[StartupBatch] = None) -> None:
         """Begin every host's query stream."""
         for process in self._processes:
-            process.start()
+            process.start(batch)
 
     def stop(self) -> None:
         """Halt every host's query stream."""

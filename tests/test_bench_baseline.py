@@ -318,6 +318,49 @@ class TestRunBench:
         assert results["campaign_pickle_write_read_1000"] > 0
         assert results["campaign_store_write_read_1000"] > 0
 
+    def test_control_benchmark_names_match_committed_baseline(self, tmp_path):
+        import pathlib
+
+        from benchmarks.bench_control import control_benchmarks
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_control.json"
+        )
+        committed = set(load_baseline(baseline_path))
+        defined = {name for name, _ in control_benchmarks(str(tmp_path))}
+        assert defined == committed
+
+    def test_control_overheads_derived_from_timings(self):
+        from benchmarks.bench_control import control_overheads
+
+        overheads = control_overheads({
+            "control_off_run": 0.10,
+            "control_static_run": 0.101,
+            "control_hysteresis_chaos_run": 0.12,
+        })
+        assert overheads["static_sampling_overhead"] == pytest.approx(1.01)
+        assert overheads["hysteresis_chaos_overhead"] == pytest.approx(1.2)
+        assert control_overheads({}) == {}
+
+    def test_committed_control_baseline_records_the_budget(self):
+        """The acceptance bar: pure observation (the static policy
+        sampling every window on a fault-free run) costs at most 5%
+        wall-clock over no controller at all."""
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_control.json"
+        )
+        data = json.loads(baseline_path.read_text())
+        assert data["meta"]["static_sampling_overhead"] <= 1.05
+        results = data["results"]
+        assert results["control_off_run"] > 0
+        assert results["control_hysteresis_chaos_run"] > 0
+
     def test_pause_schedule_movers_stay_under_delta_threshold(self):
         """The pause-heavy scenario only measures the delta path if the
         steady-state mover fraction stays under the service threshold —

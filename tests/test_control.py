@@ -1,0 +1,398 @@
+"""The adaptive control subsystem: policies, signals, controller, checker.
+
+Covers the anti-oscillation contract of the hysteresis policy (two-point
+actuation, cooldowns, healthy-window hysteresis), the pull-based signal
+derivation, the controller's sample -> decide -> actuate loop against a
+real simulation, and the invariant checker's actuation timeline (a
+controller that lowers Δ must never retroactively create violations).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.control import (
+    ControlDecision,
+    ControlPolicy,
+    ControlSignals,
+    DeltaTracker,
+    HysteresisPolicy,
+    OnlineController,
+    StaticPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.obs import (
+    ControllerActuated,
+    ControllerSampled,
+    InvalidationReceived,
+    InvariantChecker,
+    ListSink,
+    ReadServed,
+    SourceUpdate,
+    TraceBus,
+    check_events,
+)
+from repro.scenarios.registry import CONTROLLERS
+
+
+def sig(time: float, **overrides) -> ControlSignals:
+    return ControlSignals(time=time, window=30.0, **overrides)
+
+
+BASELINE = {"ttr": 90.0, "ttp": 240.0, "poll_timeout": 4.0,
+            "relay_boost": 1.0, "backoff_factor": 2.0}
+
+
+class TestRegistry:
+    def test_both_policies_registered(self):
+        assert "static" in CONTROLLERS
+        assert "hysteresis" in CONTROLLERS
+
+    def test_factories_build_policies(self):
+        for name in CONTROLLERS.names():
+            policy = CONTROLLERS.get(name)()
+            assert isinstance(policy, ControlPolicy)
+            assert policy.name == name
+
+
+class TestStaticPolicy:
+    def test_never_actuates(self):
+        policy = StaticPolicy()
+        policy.prime(dict(BASELINE))
+        rng = random.Random(1)
+        for window in range(20):
+            degraded = sig(30.0 * window, availability=0.1, partitions_active=2)
+            assert policy.decide(degraded, rng) is None
+
+
+class TestHysteresisValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"tighten_scale": 0.0}, {"tighten_scale": 1.0},
+        {"relay_boost": 0.5}, {"backoff_boost": 0.9},
+        {"cooldown": 0.0}, {"healthy_windows": 0},
+        {"cooldown_jitter": -0.1}, {"cooldown_jitter": 1.5},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HysteresisPolicy(**kwargs)
+
+
+class TestHysteresisStateMachine:
+    def _primed(self, **kwargs) -> HysteresisPolicy:
+        policy = HysteresisPolicy(**kwargs)
+        policy.prime(dict(BASELINE))
+        return policy
+
+    def test_holds_before_prime(self):
+        policy = HysteresisPolicy()
+        decision = policy.decide(sig(30.0, partitions_active=1), random.Random(1))
+        assert decision is None  # no baseline -> nothing to actuate
+
+    def test_tightens_on_first_degraded_window(self):
+        policy = self._primed()
+        decision = policy.decide(sig(30.0, partitions_active=1), random.Random(1))
+        assert decision is not None
+        assert policy.tight
+        assert decision.knobs["ttr"] == 22.5       # x tighten_scale
+        assert decision.knobs["ttp"] == 60.0
+        assert decision.knobs["poll_timeout"] == 1.0
+        assert decision.knobs["relay_boost"] == 2.0     # x relay_boost
+        assert decision.knobs["backoff_factor"] == 3.0  # x backoff_boost
+        assert "partition" in decision.reason
+
+    def test_two_point_actuation_never_ratchets(self):
+        """Tighten -> relax -> tighten lands on the same two value sets."""
+        policy = self._primed(healthy_windows=1, cooldown=10.0)
+        rng = random.Random(2)
+        first = policy.decide(sig(30.0, partitions_active=1), rng)
+        relax = policy.decide(sig(90.0), rng)
+        second = policy.decide(sig(150.0, partitions_active=1), rng)
+        assert relax.knobs == BASELINE
+        assert second.knobs == first.knobs  # no compounding
+
+    def test_cooldown_bounds_the_actuation_rate(self):
+        policy = self._primed(healthy_windows=1, cooldown=45.0,
+                              cooldown_jitter=0.0)
+        rng = random.Random(3)
+        assert policy.decide(sig(30.0, partitions_active=1), rng) is not None
+        # Clean windows inside the cooldown cannot relax yet.
+        assert policy.decide(sig(60.0), rng) is None
+        # First window past the cooldown may.
+        assert policy.decide(sig(80.0), rng) is not None
+
+    def test_relax_needs_consecutive_healthy_windows(self):
+        policy = self._primed(healthy_windows=3, cooldown=10.0,
+                              cooldown_jitter=0.0)
+        rng = random.Random(4)
+        assert policy.decide(sig(30.0, partitions_active=1), rng) is not None
+        assert policy.decide(sig(60.0), rng) is None   # healthy 1
+        assert policy.decide(sig(90.0), rng) is None   # healthy 2
+        relax = policy.decide(sig(120.0), rng)         # healthy 3
+        assert relax is not None and relax.knobs == BASELINE
+        assert not policy.tight
+
+    def test_flapping_signal_cannot_flap_the_parameters(self):
+        """A degraded window resets the healthy streak: no oscillation."""
+        policy = self._primed(healthy_windows=3, cooldown=10.0,
+                              cooldown_jitter=0.0)
+        rng = random.Random(5)
+        assert policy.decide(sig(30.0, partitions_active=1), rng) is not None
+        actuations = 0
+        for window in range(2, 40):
+            # healthy, healthy, degraded, healthy, healthy, degraded, ...
+            degraded = window % 3 == 0
+            signals = sig(30.0 * window,
+                          partitions_active=1 if degraded else 0)
+            if policy.decide(signals, rng) is not None:
+                actuations += 1
+        assert actuations == 0  # streak never reaches 3: stays tight
+        assert policy.tight
+
+    def test_low_availability_alone_triggers_tighten(self):
+        policy = self._primed()
+        decision = policy.decide(sig(30.0, availability=0.5, queries=10,
+                                     answers=5), random.Random(6))
+        assert decision is not None
+        assert "availability" in decision.reason
+
+    def test_update_dominated_stress_flips_mode_to_pull(self):
+        policy = self._primed()
+        decision = policy.decide(
+            sig(30.0, partitions_active=1, update_rate=2.0, query_rate=0.5),
+            random.Random(7),
+        )
+        assert decision.mode_all == "pull"
+
+    def test_query_dominated_stress_keeps_hybrid_mode(self):
+        policy = self._primed()
+        decision = policy.decide(
+            sig(30.0, partitions_active=1, update_rate=0.1, query_rate=2.0),
+            random.Random(8),
+        )
+        assert decision.mode_all is None
+
+    def test_relax_restores_hybrid_mode(self):
+        policy = self._primed(healthy_windows=1, cooldown=10.0,
+                              cooldown_jitter=0.0)
+        rng = random.Random(9)
+        policy.decide(sig(30.0, partitions_active=1, update_rate=2.0,
+                          query_rate=0.5), rng)
+        relax = policy.decide(sig(90.0), rng)
+        assert relax.mode_all == "hybrid"
+
+
+class TestDeltaTracker:
+    def test_deltas_from_cumulative_totals(self):
+        tracker = DeltaTracker()
+        assert tracker.take("q", 10.0) == 10.0
+        assert tracker.take("q", 25.0) == 15.0
+        assert tracker.take("q", 25.0) == 0.0
+
+    def test_counter_reset_yields_post_reset_total(self):
+        tracker = DeltaTracker()
+        tracker.take("q", 100.0)
+        # Warm-up reset dropped the counter to 7: the window saw 7.
+        assert tracker.take("q", 7.0) == 7.0
+        assert tracker.take("q", 10.0) == 3.0
+
+    def test_names_are_independent(self):
+        tracker = DeltaTracker()
+        tracker.take("a", 5.0)
+        assert tracker.take("b", 2.0) == 2.0
+
+
+class TestControlSignals:
+    def test_degraded_composite(self):
+        assert sig(0.0, partitions_active=1).degraded
+        assert sig(0.0, crashes=1).degraded
+        assert not sig(0.0).degraded
+
+
+class TestCheckerActuationTimeline:
+    """Knowledge-relative Δ contracts re-evaluated at actuation boundaries."""
+
+    def _actuation(self, time, value, knob="ttp"):
+        return ControllerActuated(time=time, policy="hysteresis",
+                                  knob=knob, value=value, reason="test")
+
+    def test_lowering_delta_never_retroactively_violates(self):
+        # Knowledge delivered at t=10 under Δ=60; the controller lowers
+        # Δ to 5 at t=50.  A stale serve at t=60 (lag 50 <= 60) opened
+        # under the old bound and must stay legal.
+        report = check_events([
+            SourceUpdate(time=0.0, node=0, item=0, version=1),
+            InvalidationReceived(time=10.0, node=2, item=0, version=1),
+            self._actuation(50.0, 5.0),
+            ReadServed(time=60.0, node=2, item=0, version=0, level="delta"),
+        ], delta=60.0)
+        assert report.ok
+
+    def test_new_knowledge_held_to_the_lowered_bound(self):
+        report = check_events([
+            SourceUpdate(time=0.0, node=0, item=0, version=1),
+            self._actuation(50.0, 5.0),
+            # Delivered well after the actuation drained the old windows:
+            InvalidationReceived(time=200.0, node=2, item=0, version=1),
+            ReadServed(time=230.0, node=2, item=0, version=0, level="delta"),
+        ], delta=60.0)
+        assert not report.ok
+        assert report.by_invariant() == {"delta": 1}
+
+    def test_raising_delta_applies_immediately(self):
+        report = check_events([
+            SourceUpdate(time=0.0, node=0, item=0, version=1),
+            self._actuation(5.0, 500.0),
+            InvalidationReceived(time=10.0, node=2, item=0, version=1),
+            ReadServed(time=300.0, node=2, item=0, version=0, level="delta"),
+        ], delta=60.0)
+        assert report.ok
+
+    def test_non_delta_knobs_do_not_move_the_timeline(self):
+        report = check_events([
+            SourceUpdate(time=0.0, node=0, item=0, version=1),
+            self._actuation(5.0, 500.0, knob="ttr"),
+            InvalidationReceived(time=10.0, node=2, item=0, version=1),
+            ReadServed(time=300.0, node=2, item=0, version=0, level="delta"),
+        ], delta=60.0)
+        assert not report.ok  # ttr actuations leave Δ at 60
+
+
+def _chaos_config(controller=None, seed=7, **overrides):
+    from repro.experiments.config import SimulationConfig
+    from repro.faults import FaultPlan
+    from pathlib import Path
+
+    plan = FaultPlan.load(
+        Path(__file__).parent.parent / "examples" / "faults" / "partition.json"
+    )
+    return SimulationConfig(
+        n_peers=20, terrain_width=1000.0, terrain_height=1000.0,
+        sim_time=180.0, warmup=60.0, seed=seed, faults=plan,
+        controller=controller, **overrides,
+    )
+
+
+def _traced_run(config, spec="rpcc-sc"):
+    from repro.experiments.runner import build_simulation
+
+    bus = TraceBus()
+    sink = bus.add_sink(ListSink())
+    simulation = build_simulation(config, spec, "standard", trace=bus)
+    result = simulation.run()
+    bus.close()
+    return simulation, result, sink.events
+
+
+class TestOnlineControllerIntegration:
+    def test_hysteresis_actuates_under_partition_chaos(self):
+        simulation, result, events = _traced_run(_chaos_config("hysteresis"))
+        controller = simulation.controller
+        assert controller is not None
+        assert controller.samples_taken > 0
+        assert result.control_decisions  # the partition forced a tighten
+        sampled = [e for e in events if isinstance(e, ControllerSampled)]
+        actuated = [e for e in events if isinstance(e, ControllerActuated)]
+        assert len(sampled) == controller.samples_taken
+        assert actuated
+        assert all(e.policy == "hysteresis" for e in actuated)
+        # Every applied decision surfaced as one event per knob.
+        knob_events = [e for e in actuated if e.knob != "dissemination_mode"]
+        assert len(knob_events) == sum(
+            len(d["applied"]) for d in result.control_decisions
+        )
+
+    def test_actuated_run_stays_violation_free(self):
+        config = _chaos_config("hysteresis")
+        _, _, events = _traced_run(config)
+        report = InvariantChecker(delta=config.ttp).feed_all(events).finish()
+        assert report.ok, report.format()
+
+    def test_static_controller_samples_but_never_actuates(self):
+        simulation, result, events = _traced_run(_chaos_config("static"))
+        assert simulation.controller.samples_taken > 0
+        assert result.control_decisions == []
+        assert not [e for e in events if isinstance(e, ControllerActuated)]
+
+    def test_controller_decisions_are_deterministic(self):
+        _, first, _ = _traced_run(_chaos_config("hysteresis"))
+        _, second, _ = _traced_run(_chaos_config("hysteresis"))
+        assert first.control_decisions == second.control_decisions
+
+    def test_no_controller_runs_have_no_decisions(self):
+        _, result, _ = _traced_run(_chaos_config(None))
+        assert result.control_decisions == []
+
+
+class TestActuationSeams:
+    """apply_control changes future behaviour only, and reports changes."""
+
+    def _rpcc(self, controller="hysteresis"):
+        from repro.experiments.runner import build_simulation
+
+        return build_simulation(_chaos_config(controller), "rpcc-sc", "standard")
+
+    def test_rpcc_knob_baseline_matches_config(self):
+        simulation = self._rpcc()
+        knobs = simulation.strategy.control_knobs()
+        config = simulation.strategy.config
+        assert knobs["ttr"] == config.ttr
+        assert knobs["ttp"] == config.ttp
+        assert knobs["poll_timeout"] == config.poll_timeout
+        assert knobs["relay_boost"] == 1.0
+
+    def test_apply_control_reports_only_real_changes(self):
+        simulation = self._rpcc()
+        strategy = simulation.strategy
+        before = strategy.control_knobs()
+        decision = ControlDecision(
+            time=0.0, policy="test", reason="t",
+            knobs={"ttr": before["ttr"], "poll_timeout": before["poll_timeout"] / 2,
+                   "unknown_knob": 3.0},
+        )
+        applied = strategy.apply_control(decision)
+        assert "ttr" not in applied          # unchanged -> not reported
+        assert "unknown_knob" not in applied  # not a seam this strategy owns
+        assert applied["poll_timeout"] == before["poll_timeout"] / 2
+        assert strategy.control_knobs()["poll_timeout"] == before["poll_timeout"] / 2
+
+    def test_ttp_actuation_moves_the_checker_delta_seam(self):
+        simulation = self._rpcc()
+        strategy = simulation.strategy
+        target = strategy.config.ttp / 2
+        strategy.apply_control(ControlDecision(
+            time=0.0, policy="test", reason="t", knobs={"ttp": target},
+        ))
+        assert strategy.context.delta == target
+
+    def test_relay_boost_widens_the_eligibility_gates(self):
+        simulation = self._rpcc()
+        strategy = simulation.strategy
+        base = strategy._base_thresholds
+        strategy.apply_control(ControlDecision(
+            time=0.0, policy="test", reason="t", knobs={"relay_boost": 2.0},
+        ))
+        boosted = strategy.config.thresholds
+        assert boosted.mu_car == min(1.0, base.mu_car * 2.0)
+        assert boosted.mu_cs == pytest.approx(base.mu_cs / 2.0)
+        assert boosted.mu_ce == pytest.approx(base.mu_ce / 2.0)
+        # Relaxing back to 1.0 restores the exact base thresholds.
+        strategy.apply_control(ControlDecision(
+            time=0.0, policy="test", reason="t", knobs={"relay_boost": 1.0},
+        ))
+        assert strategy.config.thresholds == base
+
+    def test_mode_actuation_counts_changes(self):
+        simulation = self._rpcc()
+        strategy = simulation.strategy
+        items = list(simulation.catalog.item_ids)
+        decision = ControlDecision(
+            time=0.0, policy="test", reason="t",
+            modes={items[0]: "pull", items[1]: "push", items[2]: "hybrid"},
+        )
+        applied = strategy.apply_control(decision)
+        assert applied["_modes"] == 2  # hybrid was already the default
+        assert strategy.dissemination_mode(items[0]) == "pull"
+        assert strategy.dissemination_mode(items[1]) == "push"
+        assert strategy.dissemination_mode(items[2]) == "hybrid"

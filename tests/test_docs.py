@@ -155,6 +155,36 @@ class TestRobustnessDoc:
                     "heals_observed"):
             assert f"`{key}`" in text, f"ROBUSTNESS.md misses stat {key}"
 
+    def test_every_registered_control_policy_documented(self):
+        from repro.scenarios.registry import CONTROLLERS
+
+        text = read("docs/ROBUSTNESS.md")
+        assert CONTROLLERS.names(), "control-policy registry is empty"
+        for name in CONTROLLERS.names():
+            assert f"`{name}`" in text, (
+                f"ROBUSTNESS.md misses control policy {name}"
+            )
+
+    def test_adaptive_control_section_is_cross_linked(self):
+        text = read("docs/ROBUSTNESS.md")
+        assert "## Adaptive control" in text
+        for path in ("README.md", "DESIGN.md", "docs/OBSERVABILITY.md"):
+            assert "Adaptive control" in read(path), (
+                f"{path} lacks the adaptive-control cross-link"
+            )
+
+    def test_controller_trace_events_documented(self):
+        text = read("docs/OBSERVABILITY.md")
+        for tag in ("controller_sampled", "controller_actuated"):
+            assert f"`{tag}`" in text, f"OBSERVABILITY.md misses {tag}"
+
+    def test_campaign_artifact_paths_exist(self):
+        text = read("docs/ROBUSTNESS.md")
+        for path in re.findall(r"`(benchmarks/[\w.]+\.(?:py|json))`", text):
+            assert (ROOT / path).exists(), (
+                f"ROBUSTNESS.md references missing {path}"
+            )
+
 
 class TestScenariosDoc:
     def test_exists_and_is_cross_linked(self):

@@ -333,3 +333,65 @@ class TestDegradationMeter:
         first = meter.snapshot()
         second = meter.snapshot()
         assert first == second
+
+
+class TestDegradationBoundaries:
+    """Edge cases that must never leak NaN/inf into stats or CSV."""
+
+    def test_never_healing_partition_reports_cleanly(self):
+        import math
+
+        now = [0.0]
+        meter = DegradationMeter(lambda: now[0])
+        meter.on_partition_start(10.0)
+        meter.on_read(100.0, stale=True)
+        now[0] = 500.0  # end of run: the partition never healed
+        snap = meter.snapshot()
+        assert snap["partition_seconds"] == 490.0
+        # No heal ever happened: zero observations, a clean 0.0 mean —
+        # never a division artefact.
+        assert snap["heals_observed"] == 0.0
+        assert snap["mean_time_to_reconverge"] == 0.0
+        assert all(math.isfinite(value) for value in snap.values())
+
+    def test_zero_read_partition_has_zero_stale_rate(self):
+        now = [0.0]
+        meter = DegradationMeter(lambda: now[0])
+        meter.on_partition_start(0.0)
+        now[0] = 60.0
+        snap = meter.snapshot()
+        assert snap["reads_in_partition"] == 0.0
+        assert snap["stale_serve_rate_in_partition"] == 0.0
+
+    def test_zero_query_window_availability_is_one(self):
+        """availability with no queries issued is 1.0, never 0/0."""
+        from repro.metrics.collector import MetricsCollector
+
+        sim = Simulator()
+        metrics = MetricsCollector()
+        metrics.degradation = DegradationMeter(lambda: sim.now)
+        stats = metrics.summary().fault_stats
+        assert stats["availability"] == 1.0
+
+    def test_unhealed_partition_run_emits_finite_stats(self):
+        """End-to-end: a partition outliving the run stays CSV-clean."""
+        import math
+
+        from repro.experiments.config import SimulationConfig
+        from repro.experiments.runner import build_simulation
+
+        plan = FaultPlan(faults=(
+            Partition(start=20.0, duration=10_000.0, mode="spatial", frac=0.5),
+        ))
+        config = SimulationConfig(
+            n_peers=10, terrain_width=600.0, terrain_height=600.0,
+            sim_time=90.0, warmup=0.0, seed=3, faults=plan,
+        )
+        result = build_simulation(config, "rpcc-sc", "standard").run()
+        stats = result.fault_stats
+        assert stats["heals_observed"] == 0.0
+        assert stats["partition_seconds"] == pytest.approx(70.0)
+        for name, value in stats.items():
+            assert math.isfinite(value), f"{name} is not finite: {value!r}"
+        rendered = repr(stats)
+        assert "nan" not in rendered and "inf" not in rendered

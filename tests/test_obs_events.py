@@ -12,6 +12,8 @@ from repro.obs import (
     EVENT_TYPES,
     CacheHit,
     CacheMiss,
+    ControllerActuated,
+    ControllerSampled,
     FaultNodeCrashed,
     FaultNodeRebooted,
     FaultPartitionEnded,
@@ -69,13 +71,21 @@ SAMPLE_EVENTS = [
     FaultNodeCrashed(time=9.8, node=4, wiped=True),
     FaultNodeRebooted(time=9.85, node=4),
     FaultRelayKilled(time=9.9, node=5, item=7),
+    ControllerSampled(
+        time=9.95, policy="hysteresis", availability=0.85, stale_rate=0.04,
+        query_rate=1.5, update_rate=0.2, partitions=1, relays=3,
+    ),
+    ControllerActuated(
+        time=9.95, policy="hysteresis", knob="ttp", value=120.0,
+        reason="tighten: 1 open partition(s)",
+    ),
     MetricsReset(time=10.0),
 ]
 
 
 class TestSerialisation:
     def test_every_event_type_is_registered(self):
-        assert len(EVENT_TYPES) == 21
+        assert len(EVENT_TYPES) == 23
         for event in SAMPLE_EVENTS:
             assert EVENT_TYPES[event.etype] is type(event)
 
@@ -87,6 +97,7 @@ class TestSerialisation:
             "relay_promoted", "relay_demoted", "node_online", "node_offline",
             "fault_partition_start", "fault_partition_end", "fault_node_crash",
             "fault_node_reboot", "fault_relay_kill",
+            "controller_sampled", "controller_actuated",
             "metrics_reset",
         }
 

@@ -54,6 +54,117 @@ class TestDelaySchedule:
             RetryBackoff(**kwargs)
 
 
+class TestCapSaturation:
+    def test_delays_pin_at_cap_once_reached(self):
+        backoff = RetryBackoff(factor=2.0, cap=12.0, jitter=0.0)
+        waits = [backoff.delay(5.0, attempt, "k") for attempt in range(1, 12)]
+        assert waits[:3] == [5.0, 10.0, 12.0]
+        assert all(wait == 12.0 for wait in waits[2:])
+
+    def test_cap_saturation_survives_huge_attempt_numbers(self):
+        # factor ** attempt overflows a float around attempt ~1024; the
+        # min() against cap must still yield a finite, pinned wait.
+        backoff = RetryBackoff(factor=2.0, cap=60.0, jitter=0.0)
+        assert backoff.delay(5.0, 10_000, "k") == 60.0
+
+    def test_jitter_still_varies_at_the_cap(self):
+        backoff = RetryBackoff(factor=2.0, cap=12.0, jitter=0.1, seed=3)
+        waits = {backoff.delay(5.0, attempt, "k") for attempt in range(5, 15)}
+        assert len(waits) > 1  # saturated retries still decorrelate
+        assert all(12.0 * 0.9 <= wait <= 12.0 * 1.1 for wait in waits)
+
+    def test_base_above_cap_clamps_immediately(self):
+        backoff = RetryBackoff(factor=2.0, cap=8.0, jitter=0.0)
+        assert backoff.delay(20.0, 1, "k") == 8.0
+
+
+class TestJitterDeterminism:
+    def test_identical_attempt_key_pairs_always_agree(self):
+        backoff = RetryBackoff(factor=2.0, cap=100.0, jitter=0.1, seed=9)
+        first = [backoff.delay(5.0, a, "2/7") for a in range(1, 6)]
+        second = [backoff.delay(5.0, a, "2/7") for a in range(1, 6)]
+        assert first == second  # no hidden per-call state
+
+    def test_call_order_does_not_leak_into_the_jitter(self):
+        # Interleaving draws for other keys must not perturb a pair.
+        reference = RetryBackoff(factor=2.0, cap=100.0, jitter=0.1, seed=9)
+        noisy = RetryBackoff(factor=2.0, cap=100.0, jitter=0.1, seed=9)
+        for other in range(50):
+            noisy.delay(5.0, 1 + other % 4, f"noise/{other}")
+        for attempt in range(1, 6):
+            assert (
+                noisy.delay(5.0, attempt, "2/7")
+                == reference.delay(5.0, attempt, "2/7")
+            )
+
+
+class _RecordingBackoff(RetryBackoff):
+    """RetryBackoff that logs every (attempt, key, wait) it hands out."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = []
+
+    def delay(self, base, attempt, key):
+        wait = super().delay(base, attempt, key)
+        self.calls.append((attempt, key, wait))
+        return wait
+
+
+class TestResetAfterReconnect:
+    """A fresh query after a reconnect restarts the ladder at attempt 1.
+
+    Backoff state lives in the per-query ``PendingQuery.attempts``
+    counter, never in the shared :class:`RetryBackoff` — so abandoning a
+    query during an outage and issuing a new one after the network heals
+    must start from the base wait again, not resume the grown one.
+    """
+
+    def _outage_world(self):
+        from tests.conftest import line_positions, make_world
+        from repro.consistency.pull import PullStrategy
+
+        world = make_world(line_positions(4), PullStrategy)
+        backoff = _RecordingBackoff(factor=2.0, cap=100.0, jitter=0.0)
+        world.context.backoff = backoff
+        # Phantom holders of item 3 at nodes 1 and 2: listed in the
+        # directory but with no copy in their store, so they receive the
+        # request and stay silent — each client timeout climbs one rung
+        # of the ladder and retries the next holder.
+        world.directory.add(3, 1)
+        world.directory.add(3, 2)
+        return world, backoff
+
+    def test_ladder_grows_during_outage_and_resets_after_reconnect(self):
+        from repro.consistency.levels import ConsistencyLevel
+
+        world, backoff = self._outage_world()
+        world.hosts[3].set_online(False)  # the real source is down
+        world.agent(0).local_query(3, ConsistencyLevel.WEAK)
+        world.sim.run_until(60.0)
+        outage_calls = list(backoff.calls)
+        # Both phantom holders tried, each retry one rung higher; the
+        # third attempt finds no reachable holder and gives up.
+        assert [attempt for attempt, _, _ in outage_calls] == [1, 2]
+        assert all(key == "0/3" for _, key, _ in outage_calls)
+        waits = [wait for _, _, wait in outage_calls]
+        assert waits[1] == 2.0 * waits[0]
+        assert world.metrics.counter("query_no_holder") == 1
+
+        # Source back online; a fresh query restarts at rung 1 with the
+        # base wait — the grown ladder died with the abandoned query.
+        world.hosts[3].set_online(True)
+        backoff.calls.clear()
+        world.agent(0).local_query(3, ConsistencyLevel.WEAK)
+        world.sim.run_until(120.0)
+        assert backoff.calls, "post-reconnect query never reached a holder"
+        first_attempt, key, wait = backoff.calls[0]
+        assert first_attempt == 1
+        assert key == "0/3"
+        assert wait == outage_calls[0][2]  # back to the base wait
+        assert world.metrics.latency.answered >= 1
+
+
 class TestWiring:
     def _context(self, config, spec="pull"):
         return build_simulation(config, spec, "standard").strategy.context

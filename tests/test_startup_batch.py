@@ -1,0 +1,194 @@
+"""Startup batching: one vectorized ``schedule_batch`` filing pass.
+
+``Simulation.run`` collects every startup arm (TTN timers, arrival
+streams, coefficient-period timers, switching processes, samplers, the
+controller tick) into a :class:`~repro.sim.engine.StartupBatch` and files
+them in a single :meth:`~repro.sim.engine.Simulator.schedule_batch`
+call.  The contract under test: the batched pass is *bit-identical* to
+the historical per-call ``schedule`` loop — same sequence numbers, same
+fire order — on **both** engines (timer wheel and pure heap), including
+the heap path's bulk ``heapify`` branch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import build_simulation
+from repro.sim.engine import Simulator, StartupBatch
+from repro.sim.timers import PeriodicTimer
+from repro.workload.arrivals import ExponentialProcess
+
+
+# A delay mix that exercises every filing structure: sub-slot ties,
+# wheel0, wheel1, and beyond the 16384 s wheel horizon (far heap).
+DELAYS = (
+    [0.1, 0.1, 0.1, 5.0, 5.0, 63.9, 64.0, 1000.0, 16383.0, 20000.0, 0.0]
+    + [float(i) % 97.0 + 0.25 for i in range(200)]
+)
+
+
+def _fire_log(sim: Simulator, schedule) -> list:
+    """Drain ``sim`` fully, recording (time, tag) per firing."""
+    log = []
+    schedule(sim, log)
+    sim.run()
+    return log
+
+
+def _per_call(sim: Simulator, log: list) -> None:
+    for tag, delay in enumerate(DELAYS):
+        sim.schedule(delay, lambda t=tag: log.append((sim.now, t)))
+
+
+def _batched(sim: Simulator, log: list) -> None:
+    batch = StartupBatch()
+    for tag, delay in enumerate(DELAYS):
+        batch.add(delay, lambda t=tag: log.append((sim.now, t)))
+    assert len(batch) == len(DELAYS)
+    handles = batch.flush(sim)
+    assert len(handles) == len(DELAYS)
+
+
+class TestFireOrderEquivalence:
+    def test_batch_matches_per_call_on_wheel(self):
+        unbatched = _fire_log(Simulator(wheel=True), _per_call)
+        batched = _fire_log(Simulator(wheel=True), _batched)
+        assert batched == unbatched
+
+    def test_batch_matches_per_call_on_heap(self):
+        unbatched = _fire_log(Simulator(wheel=False), _per_call)
+        batched = _fire_log(Simulator(wheel=False), _batched)
+        assert batched == unbatched
+
+    def test_wheel_vs_heap_batched(self):
+        """The batched filing pass fires identically on both engines."""
+        wheel = _fire_log(Simulator(wheel=True), _batched)
+        heap = _fire_log(Simulator(wheel=False), _batched)
+        assert wheel == heap
+
+    def test_heap_heapify_branch_matches_push_branch(self):
+        """Bulk extend+heapify (big batch) == per-event heappush (small)."""
+        def seed_heap(sim: Simulator, log: list) -> None:
+            # Pre-populate a heap large enough that a 3-event batch takes
+            # the per-event push branch (batch * 8 < len(heap)).
+            for tag in range(40):
+                sim.schedule(500.0 + tag, lambda t=tag: log.append(("pre", t)))
+
+        def small_then_large(sim: Simulator, log: list) -> None:
+            seed_heap(sim, log)
+            small = StartupBatch()
+            for tag, delay in enumerate([1.0, 2.0, 3.0]):
+                small.add(delay, lambda t=tag: log.append(("small", t)))
+            small.flush(sim)
+            large = StartupBatch()
+            for tag, delay in enumerate(DELAYS):
+                large.add(delay, lambda t=tag: log.append(("large", t)))
+            large.flush(sim)
+
+        heap_log = _fire_log(Simulator(wheel=False), small_then_large)
+        wheel_log = _fire_log(Simulator(wheel=True), small_then_large)
+        assert heap_log == wheel_log
+
+    def test_seq_numbers_assigned_in_add_order(self):
+        sim = Simulator()
+        batch = StartupBatch()
+        for delay in (5.0, 1.0, 5.0):
+            batch.add(delay, lambda: None)
+        handles = batch.flush(sim)
+        seqs = [handle.seq for handle in handles]
+        assert seqs == sorted(seqs)
+        # Ties at t=5.0 break by add order.
+        assert handles[0].seq < handles[2].seq
+
+
+class TestStartupBatchContract:
+    def test_single_shot(self):
+        sim = Simulator()
+        batch = StartupBatch()
+        batch.add(1.0, lambda: None)
+        batch.flush(sim)
+        with pytest.raises(SchedulingError):
+            batch.flush(sim)
+        with pytest.raises(SchedulingError):
+            batch.add(1.0, lambda: None)
+
+    def test_empty_flush(self):
+        assert StartupBatch().flush(Simulator()) == []
+
+    def test_adopt_receives_handle(self):
+        sim = Simulator()
+        batch = StartupBatch()
+        seen = []
+        batch.add(2.5, lambda: None, adopt=seen.append)
+        handles = batch.flush(sim)
+        assert seen == handles
+        assert seen[0].pending and seen[0].time == 2.5
+
+    def test_periodic_timer_rearms_after_batched_start(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 10.0, lambda: None)
+        batch = StartupBatch()
+        timer.start(batch)
+        assert not timer.running  # handle arrives at flush
+        batch.flush(sim)
+        assert timer.running
+        sim.run_until(35.0)
+        assert timer.ticks == 3
+        assert timer.running  # re-armed through the adopted handle
+
+    def test_exponential_process_draws_rng_at_add_time(self):
+        """Batched start consumes the RNG exactly like the unbatched one."""
+        import random
+
+        def arrivals(batched: bool) -> list:
+            sim = Simulator()
+            rng = random.Random(42)
+            times = []
+            process = ExponentialProcess(
+                sim, rng, 7.0, lambda: times.append(sim.now)
+            )
+            if batched:
+                batch = StartupBatch()
+                process.start(batch)
+                batch.flush(sim)
+            else:
+                process.start()
+            sim.run_until(200.0)
+            return times
+
+        assert arrivals(True) == arrivals(False)
+
+
+class TestSimulationStartupBatched:
+    """End-to-end: batched startup is invisible in simulation results."""
+
+    CONFIG = dict(
+        n_peers=12,
+        terrain_width=800.0,
+        terrain_height=800.0,
+        sim_time=120.0,
+        warmup=30.0,
+        seed=13,
+    )
+
+    def _digest(self, monkeypatch, wheel: str):
+        monkeypatch.setenv("REPRO_WHEEL", wheel)
+        result = build_simulation(
+            SimulationConfig(**self.CONFIG), "rpcc-sc", "standard"
+        ).run()
+        summary = result.summary
+        return (
+            summary.transmissions,
+            summary.messages,
+            summary.queries_issued,
+            summary.queries_answered,
+            round(summary.mean_latency, 9),
+            round(summary.stale_ratio, 9),
+            result.events_processed,
+        )
+
+    def test_wheel_and_heap_runs_identical(self, monkeypatch):
+        assert self._digest(monkeypatch, "1") == self._digest(monkeypatch, "0")
